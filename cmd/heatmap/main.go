@@ -1,0 +1,94 @@
+// Command heatmap renders the paper's Figure 6/7 thread-count heatmaps as
+// ASCII: one row per core, time on the x-axis, digits/shades for the number
+// of runnable threads on the core.
+//
+// Usage:
+//
+//	heatmap -exp fig6 -scale 0.25
+//	heatmap -exp fig7 -scale 0.5 -width 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "fig6", "experiment with per-core series: fig6, fig7, or ablation-lbbug")
+		scale = flag.Float64("scale", 0.25, "duration scale")
+		width = flag.Int("width", 120, "columns of the rendered map")
+	)
+	flag.Parse()
+
+	e, err := core.ByID(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heatmap:", err)
+		os.Exit(1)
+	}
+	res := e.Run(*scale)
+	fmt.Println(res)
+
+	var names []string
+	for name := range res.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("--- %s/%s ---\n", res.ID, name)
+		render(res.Series[name], *width)
+	}
+}
+
+// render draws one series set (core0..coreN) as an ASCII heatmap.
+func render(set *stats.SeriesSet, width int) {
+	names := set.Names()
+	if len(names) == 0 {
+		return
+	}
+	var tEnd time.Duration
+	set.Each(func(s *stats.Series) {
+		if p := s.Last(); p.T > tEnd {
+			tEnd = p.T
+		}
+	})
+	if tEnd == 0 {
+		return
+	}
+	glyphs := []byte(" .:-=+*#%@")
+	var max float64
+	set.Each(func(s *stats.Series) {
+		if m := s.Max(); m > max {
+			max = m
+		}
+	})
+	if max == 0 {
+		max = 1
+	}
+	for _, name := range names {
+		s := set.Get(name)
+		var b strings.Builder
+		for x := 0; x < width; x++ {
+			at := time.Duration(float64(tEnd) * float64(x) / float64(width-1))
+			v := s.At(at)
+			idx := int(v / max * float64(len(glyphs)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(glyphs) {
+				idx = len(glyphs) - 1
+			}
+			b.WriteByte(glyphs[idx])
+		}
+		fmt.Printf("%-8s|%s|\n", name, b.String())
+	}
+	fmt.Printf("%-8s 0s%*s\n", "", width-2, fmt.Sprintf("%.1fs", tEnd.Seconds()))
+	fmt.Printf("scale: ' '=0 .. '@'=%.0f runnable threads\n\n", max)
+}

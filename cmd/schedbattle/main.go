@@ -1,0 +1,87 @@
+// Command schedbattle reproduces the paper's evaluation artifacts: it runs
+// any registered experiment (figures 1-9, table 2, the §6.3 overhead
+// analysis, and the ablations) and prints the same rows/series the paper
+// reports.
+//
+// Usage:
+//
+//	schedbattle -list
+//	schedbattle -run table2
+//	schedbattle -run fig6 -scale 0.25 -series /tmp/fig6
+//	schedbattle -all -scale 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list experiments and exit")
+		run       = flag.String("run", "", "experiment id to run")
+		all       = flag.Bool("all", false, "run every experiment")
+		scale     = flag.Float64("scale", 1.0, "duration scale in (0,1]: 1.0 = paper-sized")
+		seriesDir = flag.String("series", "", "directory to write gnuplot series files into")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range core.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	case *run != "":
+		ids = []string{*run}
+	default:
+		fmt.Fprintln(os.Stderr, "schedbattle: need -run <id>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		e, err := core.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedbattle:", err)
+			os.Exit(1)
+		}
+		res := e.Run(*scale)
+		fmt.Println(res)
+		if *seriesDir != "" {
+			if err := writeSeries(*seriesDir, res); err != nil {
+				fmt.Fprintln(os.Stderr, "schedbattle:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeSeries dumps every series of a result as "<dir>/<id>-<set>-<name>.dat"
+// in gnuplot "time value" format.
+func writeSeries(dir string, res *core.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for setName, set := range res.Series {
+		for _, name := range set.Names() {
+			s := set.Get(name)
+			path := filepath.Join(dir, fmt.Sprintf("%s-%s-%s.dat", res.ID, setName, name))
+			if err := os.WriteFile(path, []byte(s.Gnuplot()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

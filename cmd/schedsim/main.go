@@ -1,0 +1,79 @@
+// Command schedsim runs one or more applications on a simulated machine
+// under a chosen scheduler and prints throughput, latency, and scheduler
+// statistics — the free-form exploration companion to schedbattle's fixed
+// paper artifacts.
+//
+// Usage:
+//
+//	schedsim -sched ule -cores 32 -apps MG -for 20s
+//	schedsim -sched cfs -cores 1 -apps fibo,sysbench -for 60s -noise=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		sched    = flag.String("sched", "cfs", "scheduler: cfs, ule, or fifo")
+		cores    = flag.Int("cores", 32, "core count (1, 8, 32 map to paper topologies)")
+		appsFlag = flag.String("apps", "", "comma-separated application names (see -listapps)")
+		runFor   = flag.Duration("for", 20*time.Second, "simulated duration after warmup")
+		seed     = flag.Int64("seed", 42, "PRNG seed")
+		noise    = flag.Bool("noise", true, "start per-core kernel worker threads")
+		listApps = flag.Bool("listapps", false, "list application names and exit")
+	)
+	flag.Parse()
+
+	if *listApps {
+		for _, n := range schedsim.AppNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *appsFlag == "" {
+		fmt.Fprintln(os.Stderr, "schedsim: need -apps (try -listapps)")
+		os.Exit(2)
+	}
+
+	m := schedsim.New(schedsim.Config{
+		Cores:       *cores,
+		Scheduler:   schedsim.SchedulerKind(*sched),
+		Seed:        *seed,
+		KernelNoise: *noise,
+	})
+	var instances []*schedsim.AppInstance
+	for _, name := range strings.Split(*appsFlag, ",") {
+		instances = append(instances, m.Start(schedsim.AppByName(strings.TrimSpace(name))))
+	}
+	m.RunFor(schedsim.ShellWarmup + *runFor)
+
+	fmt.Printf("scheduler=%s cores=%d simulated=%v\n\n", *sched, *cores, m.Now())
+	for _, in := range instances {
+		fmt.Printf("%-16s ops=%-10d perf=%.1f ops/s", in.Name, in.Ops(), in.Perf())
+		if in.Latency != nil && in.Latency.Count() > 0 {
+			fmt.Printf("  latency: mean=%v p99=%v", in.Latency.Mean(), in.Latency.Quantile(0.99))
+		}
+		fmt.Println()
+	}
+
+	var busy, schedT, scan time.Duration
+	for _, c := range m.M.Cores {
+		busy += c.BusyTime
+		schedT += c.SchedTime
+		scan += c.ScanTime
+	}
+	fmt.Printf("\ncpu: busy=%v sched=%v scan=%v (%.2f%% of busy cycles in placement scans)\n",
+		busy, schedT, scan, 100*float64(scan)/float64(busy+scan+1))
+	fmt.Printf("events: switches=%d wakeups=%d migrations=%d preemptions=%d\n",
+		m.M.Trace.Count(trace.Switch), m.M.Trace.Count(trace.Wakeup),
+		m.M.Trace.Count(trace.Migrate), m.M.Trace.Count(trace.Preempt))
+	fmt.Printf("runnable per core: %v\n", m.RunnableCounts())
+}

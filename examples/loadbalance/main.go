@@ -1,0 +1,42 @@
+// Loadbalance: the paper's Figure 6 in miniature — pin spinners to core 0,
+// unpin them, and watch how each balancer spreads the pile: CFS floods
+// threads outward within milliseconds but never reaches a perfectly even
+// state (the 25% NUMA rule); ULE's idle steal takes one thread per core
+// instantly, then core 0's periodic balancer drains one thread per 0.5-1.5s
+// invocation until the counts are exactly even.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	const nThreads = 128
+	for _, kind := range []schedsim.SchedulerKind{schedsim.CFS, schedsim.ULE} {
+		m := schedsim.New(schedsim.Config{Cores: 32, Scheduler: kind, Seed: 3})
+		var threads []*sim.Thread
+		for i := 0; i < nThreads; i++ {
+			threads = append(threads, m.M.StartThreadCfg(sim.ThreadConfig{
+				Name: "spin", Group: "spin", Pinned: []int{0},
+				Prog: &workload.Loop{Burst: 10 * time.Millisecond},
+			}))
+		}
+		m.RunFor(2 * time.Second)
+		for _, t := range threads {
+			m.M.SetPinned(t, nil)
+		}
+		fmt.Printf("--- %s: %d spinners unpinned from core 0 ---\n", kind, nThreads)
+		for _, wait := range []time.Duration{
+			250 * time.Millisecond, 2 * time.Second, 10 * time.Second, 60 * time.Second,
+		} {
+			m.RunFor(wait)
+			fmt.Printf("  +%-6v %v\n", (m.Now() - 2*time.Second).Round(time.Second), m.RunnableCounts())
+		}
+		fmt.Println()
+	}
+}

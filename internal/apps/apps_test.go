@@ -1,0 +1,230 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cfs"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/ule"
+)
+
+func cfsMachine(tp *topo.Topology, seed int64) *sim.Machine {
+	return sim.NewMachine(tp, cfs.NewDefault(), sim.Options{Seed: seed})
+}
+
+func uleMachine(tp *topo.Topology, seed int64) *sim.Machine {
+	return sim.NewMachine(tp, ule.NewDefault(), sim.Options{Seed: seed})
+}
+
+func TestCatalogSizes(t *testing.T) {
+	// 42 bars = the paper's "37 applications" with scimark's six variants
+	// counted once (Figure 5's x-axis).
+	if got := len(Catalog()); got != 42 {
+		t.Fatalf("Catalog has %d bars, want 42", got)
+	}
+	if got := len(CatalogMulticore()); got != 44 {
+		t.Fatalf("CatalogMulticore has %d bars, want 44 (fig 8)", got)
+	}
+	seen := map[string]bool{}
+	for _, s := range CatalogMulticore() {
+		if seen[s.Name] {
+			t.Fatalf("duplicate app name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("MG"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("fibo"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Fatal("expected error")
+	}
+	if len(Names()) != 44 {
+		t.Fatalf("Names = %d", len(Names()))
+	}
+}
+
+// TestEveryAppMakesProgress launches each catalog app alone on a small
+// machine under both schedulers and requires nonzero work.
+func TestEveryAppMakesProgress(t *testing.T) {
+	for _, spec := range Catalog() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			for _, mk := range []struct {
+				name string
+				m    *sim.Machine
+			}{
+				{"cfs", cfsMachine(topo.Small(), 11)},
+				{"ule", uleMachine(topo.Small(), 11)},
+			} {
+				in := spec.New(mk.m, Env{Cores: mk.m.Topo.NCores()})
+				mk.m.Run(ShellWarmup + 8*time.Second)
+				if in.Ops() == 0 {
+					t.Errorf("%s on %s made no progress", spec.Name, mk.name)
+				}
+				if in.Master == nil {
+					t.Errorf("%s on %s never launched", spec.Name, mk.name)
+				}
+			}
+		})
+	}
+}
+
+func TestFiboIsPureCompute(t *testing.T) {
+	m := cfsMachine(topo.SingleCore(), 1)
+	in := Fibo().New(m, Env{Cores: 1})
+	m.Run(ShellWarmup + 5*time.Second)
+	if in.Master.SleepTime > time.Millisecond {
+		t.Fatalf("fibo slept %v", in.Master.SleepTime)
+	}
+	// ~5s of compute minus shell overhead.
+	if in.Master.RunTime < 4500*time.Millisecond {
+		t.Fatalf("fibo ran only %v", in.Master.RunTime)
+	}
+}
+
+func TestSysbenchMasterForkDegradation(t *testing.T) {
+	// §5.2: workers forked early are interactive under ULE; later ones
+	// batch. Verify the split exists with the default 128-thread config.
+	m := uleMachine(topo.SingleCore(), 1)
+	u := m.Scheduler().(*ule.Sched)
+	cfg := DefaultSysbench()
+	cfg.Threads = 128
+	in := Sysbench(cfg).New(m, Env{Cores: 1})
+	// Give the master time to fork all 128 workers (128×15ms ≈ 2s of CPU,
+	// shared with running workers) and the workers time to classify.
+	m.Run(ShellWarmup + 30*time.Second)
+	if len(in.Workers) != 128 {
+		t.Fatalf("forked %d/128 workers", len(in.Workers))
+	}
+	inter, batch := 0, 0
+	for _, w := range in.Workers {
+		if u.Interactive(w) {
+			inter++
+		} else {
+			batch++
+		}
+	}
+	if inter < 40 || batch < 20 {
+		t.Fatalf("interactive/batch split = %d/%d; want a real split (paper: 80/48)", inter, batch)
+	}
+}
+
+func TestApacheBatchingOnULEvsPreemptionOnCFS(t *testing.T) {
+	run := func(m *sim.Machine) (ops uint64, preempts uint64) {
+		in := Apache().New(m, Env{Cores: 1})
+		m.Run(ShellWarmup + 10*time.Second)
+		var ab *sim.Thread
+		for _, w := range in.Workers {
+			if w.Name == "ab" {
+				ab = w
+			}
+		}
+		if ab == nil {
+			t.Fatal("no ab thread")
+		}
+		return in.Ops(), m.Trace.PreemptionsOf(ab.ID)
+	}
+	cm := cfsMachine(topo.SingleCore(), 3)
+	uops, upre := uint64(0), uint64(0)
+	cops, cpre := run(cm)
+	um := uleMachine(topo.SingleCore(), 3)
+	uops, upre = run(um)
+	if cpre == 0 {
+		t.Fatalf("CFS never preempted ab (got %d)", cpre)
+	}
+	if upre != 0 {
+		t.Fatalf("ULE preempted ab %d times; preemption is disabled", upre)
+	}
+	if uops <= cops {
+		t.Fatalf("apache ops ULE=%d vs CFS=%d; ULE should win (paper: +40%%)", uops, cops)
+	}
+	_ = uops
+}
+
+func TestMGOneThreadPerCoreULE(t *testing.T) {
+	m := uleMachine(topo.Small(), 5)
+	StartKernelNoise(m, 15*time.Millisecond, 300*time.Microsecond)
+	in := NASMG().New(m, Env{Cores: 8})
+	m.Run(ShellWarmup + 10*time.Second)
+	if len(in.Workers) != 8 {
+		t.Fatalf("MG forked %d ranks", len(in.Workers))
+	}
+	// Each rank should sit on its own core.
+	coreSet := map[int]int{}
+	for _, w := range in.Workers {
+		if w.Core() != nil {
+			coreSet[w.Core().ID]++
+		}
+	}
+	for c, n := range coreSet {
+		if n > 1 {
+			t.Fatalf("ULE stacked %d MG ranks on core %d", n, c)
+		}
+	}
+}
+
+func TestHackbenchCompletes(t *testing.T) {
+	m := cfsMachine(topo.Small(), 9)
+	in := Hackbench(2, 100).New(m, Env{Cores: 8})
+	ok := m.RunUntil(in.Done, ShellWarmup+30*time.Second)
+	if !ok {
+		t.Fatalf("hackbench did not finish; ops=%d", in.Ops())
+	}
+	// 2 groups × 20 receivers × 100 messages.
+	if in.Ops() != 2*20*100 {
+		t.Fatalf("ops = %d, want 4000", in.Ops())
+	}
+	if in.Perf() <= 0 {
+		t.Fatal("no perf")
+	}
+}
+
+func TestScimarkSlowerOnULE(t *testing.T) {
+	// §5.3: the JVM service threads are interactive under ULE and delay
+	// the compute thread; CFS's fairness bounds them.
+	run := func(m *sim.Machine) float64 {
+		in := Scimark(1).New(m, Env{Cores: 1})
+		m.Run(ShellWarmup + 15*time.Second)
+		return in.Perf()
+	}
+	c := run(cfsMachine(topo.SingleCore(), 7))
+	u := run(uleMachine(topo.SingleCore(), 7))
+	if u >= c {
+		t.Fatalf("scimark ULE=%.1f vs CFS=%.1f ops/s; ULE should be slower", u, c)
+	}
+	ratio := u / c
+	if ratio > 0.95 {
+		t.Fatalf("scimark ULE/CFS = %.2f; want a visible gap (paper: 0.64)", ratio)
+	}
+}
+
+func TestShellStaysInteractive(t *testing.T) {
+	m := uleMachine(topo.SingleCore(), 1)
+	u := m.Scheduler().(*ule.Sched)
+	in := Fibo().New(m, Env{Cores: 1})
+	m.Run(ShellWarmup + 5*time.Second)
+	var shell *sim.Thread
+	for _, th := range m.Threads() {
+		if th.Group == "shell" {
+			shell = th
+		}
+	}
+	if shell == nil {
+		t.Fatal("no shell thread")
+	}
+	if sc := u.Score(shell); sc > 30 {
+		t.Fatalf("shell score = %d; bash-alike must be interactive", sc)
+	}
+	// And fibo's master is batch by now.
+	if sc := u.Score(in.Master); sc < 60 {
+		t.Fatalf("fibo score = %d; must be batch", sc)
+	}
+}

@@ -1,0 +1,185 @@
+// Package apps models the paper's 37-application evaluation suite plus
+// fibo and hackbench (§4.2): Phoronix applications, the NAS and PARSEC
+// suites, sysbench/MySQL and RocksDB servers, and the apache/ab pair. Each
+// model is a parameterised composition of workload state machines encoding
+// the behavioural skeleton the paper describes (sleep/run/fork/barrier/lock
+// patterns); DESIGN.md §5 documents the mapping.
+//
+// Every application is launched from a "shell" thread that mostly sleeps —
+// under ULE the master inherits this interactive history at fork, which is
+// the starting point of the paper's §5.2 starvation analysis.
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Env parameterises an application instance.
+type Env struct {
+	// Cores is the machine width; thread counts scale with it.
+	Cores int
+	// StartAt is when the shell forks the application master. Shells need
+	// ~2 s of sleep history first for realistic ULE inheritance; Launch
+	// enforces a floor.
+	StartAt time.Duration
+}
+
+// ShellWarmup is the minimum shell age before an app launches; the shell
+// sleeps (like bash awaiting input) and accumulates the interactive history
+// its children inherit.
+const ShellWarmup = 2 * time.Second
+
+// Instance is one running application.
+type Instance struct {
+	// Name is the instance name (catalog name, possibly suffixed).
+	Name string
+	// Group is the cgroup/application identifier for CFS group fairness.
+	Group string
+
+	// Latency is the request-latency histogram for server apps (nil
+	// otherwise).
+	Latency *stats.Histogram
+
+	m         *sim.Machine
+	ops       uint64
+	startedAt time.Duration
+	doneAt    time.Duration
+	done      bool
+
+	// Master is the application's first thread (after the shell).
+	Master *sim.Thread
+	// Workers are registered worker threads, for per-thread probes.
+	Workers []*sim.Thread
+}
+
+// AddOp records one unit of useful work.
+func (in *Instance) AddOp() { in.ops++ }
+
+// AddOps records n units of useful work.
+func (in *Instance) AddOps(n int) { in.ops += uint64(n) }
+
+// Ops returns the work units completed so far.
+func (in *Instance) Ops() uint64 { return in.ops }
+
+// MarkDone freezes the completion time (run-to-completion apps).
+func (in *Instance) MarkDone() {
+	if !in.done {
+		in.done = true
+		in.doneAt = in.m.Now()
+	}
+}
+
+// Done reports whether the app completed.
+func (in *Instance) Done() bool { return in.done }
+
+// Perf is the paper's §5.3 metric: operations per second for servers and
+// throughput apps — equivalently 1/execution-time per work unit for
+// run-to-completion apps. Higher is better.
+func (in *Instance) Perf() float64 {
+	end := in.m.Now()
+	if in.done {
+		end = in.doneAt
+	}
+	elapsed := (end - in.startedAt).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(in.ops) / elapsed
+}
+
+// Spec is a catalog entry: a named application constructor.
+type Spec struct {
+	// Name as the paper's figures label it.
+	Name string
+	// New launches the application (via a shell) and returns its instance.
+	New func(m *sim.Machine, env Env) *Instance
+}
+
+// shellProg mostly sleeps, then forks the app master at the requested
+// time, then goes back to sleeping forever — bash.
+type shellProg struct {
+	at       time.Duration
+	spawn    func(ctx *sim.Ctx)
+	launched bool
+	burst    bool
+}
+
+// Next implements sim.Program.
+func (s *shellProg) Next(ctx *sim.Ctx) sim.Op {
+	if s.launched {
+		return sim.Sleep(time.Hour)
+	}
+	if ctx.Now() >= s.at {
+		s.launched = true
+		s.spawn(ctx)
+		return sim.Sleep(time.Hour)
+	}
+	// Interactive idle: a tiny burst then sleep towards the launch time.
+	if !s.burst {
+		s.burst = true
+		return sim.Run(200 * time.Microsecond)
+	}
+	s.burst = false
+	remaining := s.at - ctx.Now()
+	slp := 100 * time.Millisecond
+	if remaining < slp {
+		slp = remaining
+	}
+	return sim.Sleep(slp)
+}
+
+// Launch spawns a shell that forks prog as the app's master thread at
+// env.StartAt (floored to ShellWarmup), wiring the instance bookkeeping.
+func Launch(m *sim.Machine, name string, env Env, master func(in *Instance) sim.Program) *Instance {
+	in := &Instance{Name: name, Group: name, m: m}
+	at := env.StartAt
+	if at < ShellWarmup {
+		at = ShellWarmup
+	}
+	sh := &shellProg{at: at}
+	sh.spawn = func(ctx *sim.Ctx) {
+		in.startedAt = ctx.Now()
+		in.Master = ctx.Fork(name+"-master", in.Group, 0, master(in))
+	}
+	m.StartThread(name+"-shell", "shell", 0, sh)
+	return in
+}
+
+// StartKernelNoise spawns one kworker per core (pinned, group "kernel"):
+// the short periodic bursts whose load micro-changes §6.3 blames for CFS's
+// MG placement mistakes. Returns the threads for inspection.
+func StartKernelNoise(m *sim.Machine, period, burst time.Duration) []*sim.Thread {
+	var out []*sim.Thread
+	for i := range m.Cores {
+		t := m.StartThreadCfg(sim.ThreadConfig{
+			Name:   fmt.Sprintf("kworker/%d", i),
+			Group:  "kernel",
+			Pinned: []int{i},
+			Prog:   &kworkerProg{period: period, burst: burst},
+		})
+		out = append(out, t)
+	}
+	return out
+}
+
+// kworkerProg is a jittered periodic housekeeping burst. Burst length
+// jitters up to 4×, occasionally exceeding CFS's cache-hot window so the
+// balancer sees a real micro-imbalance.
+type kworkerProg struct {
+	period, burst time.Duration
+	ran           bool
+}
+
+// Next implements sim.Program.
+func (k *kworkerProg) Next(ctx *sim.Ctx) sim.Op {
+	if k.ran {
+		k.ran = false
+		return sim.Sleep(k.period + time.Duration(ctx.Rand().Int63n(int64(k.period))))
+	}
+	k.ran = true
+	return sim.Run(k.burst + time.Duration(ctx.Rand().Int63n(int64(3*k.burst))))
+}

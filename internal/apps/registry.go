@@ -1,0 +1,69 @@
+package apps
+
+import "fmt"
+
+// Catalog returns the 37 applications of Figures 5 and 8, in the paper's
+// bar order. Hackbench variants (Figure 8 only) are appended by
+// CatalogMulticore.
+func Catalog() []Spec {
+	specs := []Spec{
+		BuildApache(),
+		BuildPHP(),
+		SevenZip(),
+		Gzip(),
+		CRay(),
+		DCraw(),
+		Himeno(),
+		Hmmer(),
+	}
+	for v := 1; v <= 6; v++ {
+		specs = append(specs, Scimark(v))
+	}
+	for v := 1; v <= 3; v++ {
+		specs = append(specs, John(v))
+	}
+	specs = append(specs,
+		Apache(),
+		NASBT(), NASCG(), NASDC(), NASEP(), NASFT(),
+		NASIS(), NASLU(), NASMG(), NASSP(), NASUA(),
+		SysbenchDefault(),
+		RocksDB(),
+		Blackscholes(), Bodytrack(), Canneal(), Facesim(),
+		Ferret(), Fluidanimate(), Freqmine(), Raytrace(),
+		Streamcluster(), Swaptions(), Vips(), X264(),
+	)
+	return specs
+}
+
+// CatalogMulticore is the Figure 8 bar list: the 37 applications plus the
+// two hackbench configurations.
+func CatalogMulticore() []Spec {
+	specs := Catalog()
+	specs = append(specs,
+		Hackbench(800, 40), // Hackb-800: 32,000 threads
+		Hackbench(10, 400), // Hackb-10: 400 threads
+	)
+	return specs
+}
+
+// ByName finds a catalog entry (including fibo and hackbench variants).
+func ByName(name string) (Spec, error) {
+	for _, s := range CatalogMulticore() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	if name == "fibo" {
+		return Fibo(), nil
+	}
+	return Spec{}, fmt.Errorf("apps: unknown application %q", name)
+}
+
+// Names lists all catalog names (multicore set).
+func Names() []string {
+	var out []string
+	for _, s := range CatalogMulticore() {
+		out = append(out, s.Name)
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ipc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// SysbenchConfig parameterises the sysbench/MySQL model: a closed-loop
+// OLTP server with one connection per worker thread and client think time
+// — workers sleep between requests ("these threads are never all active at
+// the same time; they mostly wait for incoming requests", §5.1).
+type SysbenchConfig struct {
+	// Threads is the worker/connection count (the paper uses 80 and 128 on
+	// one core in §5.1/§5.2, 128 on the multicore).
+	Threads int
+	// InitPerWorker is the master's CPU burn before each fork — the §5.2
+	// mechanism that pushes later workers past the interactivity
+	// threshold (~18 ms makes the crossing land near worker 80 with a
+	// bash-like parent).
+	InitPerWorker time.Duration
+	// Service is a transaction's CPU demand.
+	Service time.Duration
+	// CritPermille is the fraction (‰) of transactions taking the global
+	// lock; Crit is the critical-section length (the §6.4 MySQL lock
+	// contention).
+	CritPermille int
+	Crit         time.Duration
+	// Think is the per-connection client think time between a response
+	// and the next request.
+	Think time.Duration
+	// TxTarget stops the workload (MarkDone) after that many completed
+	// transactions; 0 runs forever. Table 2 measures a fixed workload.
+	TxTarget uint64
+}
+
+// DefaultSysbench returns the configuration used by the single-core
+// experiments: 80 connections at ~1.4× one core of demand, so ULE (which
+// starves fibo and serves at full speed) stays ahead of the offered load
+// while CFS (fair-sharing with fibo) saturates.
+func DefaultSysbench() SysbenchConfig {
+	return SysbenchConfig{
+		Threads:       80,
+		InitPerWorker: 18 * time.Millisecond,
+		Service:       900 * time.Microsecond,
+		CritPermille:  300,
+		Crit:          100 * time.Microsecond,
+		Think:         50 * time.Millisecond,
+	}
+}
+
+// Sysbench builds the OLTP server model with the given config.
+func Sysbench(cfg SysbenchConfig) Spec {
+	return Spec{Name: "sysbench", New: func(m *sim.Machine, env Env) *Instance {
+		if cfg.Threads == 0 {
+			cfg = DefaultSysbench()
+		}
+		if cfg.Think <= 0 {
+			cfg.Think = 50 * time.Millisecond
+		}
+		in := Launch(m, "sysbench", env, func(in *Instance) sim.Program {
+			// One connection per worker thread, as in MySQL's
+			// thread-per-connection model: each worker serves only its own
+			// connection's requests, so a starved worker stalls exactly one
+			// connection (the Figure 3 behaviour).
+			shared := &stats.Histogram{}
+			in.Latency = shared
+			mu := ipc.NewMutex("mysql.lock")
+			queues := make([]*ipc.ReqQueue, cfg.Threads)
+			for i := range queues {
+				queues[i] = ipc.NewReqQueue(fmt.Sprintf("sysbench.conn%d", i))
+				queues[i].Latency = shared
+			}
+			stopped := false
+			onDone := func(i int) func() {
+				return func() {
+					in.AddOp()
+					if cfg.TxTarget > 0 && in.Ops() >= cfg.TxTarget {
+						if !stopped {
+							stopped = true
+							in.MarkDone()
+						}
+						return
+					}
+					// Closed loop: the connection thinks, then sends again.
+					m.After(cfg.Think, func() {
+						if !stopped {
+							queues[i].Push(m, cfg.Service)
+						}
+					})
+				}
+			}
+			return &workload.Forker{
+				N:        cfg.Threads,
+				InitCost: cfg.InitPerWorker,
+				Child: func(i int) (string, sim.Program) {
+					return fmt.Sprintf("worker-%d", i), &workload.ServerWorker{
+						Q: queues[i], Mu: mu, CritPermille: cfg.CritPermille, Crit: cfg.Crit,
+						OnDone: onDone(i),
+					}
+				},
+				OnForked: func(i int, t *sim.Thread) {
+					in.Workers = append(in.Workers, t)
+					if i == cfg.Threads-1 {
+						// Prepare phase over: every connection issues its
+						// first request, staggered across one think time.
+						for c := 0; c < cfg.Threads; c++ {
+							cc := c
+							m.After(time.Duration(cc)*cfg.Think/time.Duration(cfg.Threads), func() {
+								queues[cc].Push(m, cfg.Service)
+							})
+						}
+					}
+				},
+			}
+		})
+		return in
+	}}
+}
+
+// SysbenchDefault is the catalog entry with default parameters.
+func SysbenchDefault() Spec {
+	s := Sysbench(SysbenchConfig{})
+	s.Name = "sysbench"
+	return s
+}
+
+// RocksDB is the read-mostly key-value store: many light reads, a small
+// locked write fraction, and a batch compaction thread.
+func RocksDB() Spec {
+	return Spec{Name: "rocksdb", New: func(m *sim.Machine, env Env) *Instance {
+		threads := 64
+		service := 300 * time.Microsecond
+		rate := int(1.1 * float64(env.Cores) / service.Seconds())
+		return Launch(m, "rocksdb", env, func(in *Instance) sim.Program {
+			q := ipc.NewReqQueue("rocksdb")
+			q.MaxDepth = 4 * threads
+			in.Latency = q.Latency
+			mu := ipc.NewMutex("memtable.lock")
+			interval := time.Duration(int64(time.Second) / int64(rate))
+			started := false
+			startLoad := func() {
+				if started {
+					return
+				}
+				started = true
+				m.Every(interval, interval, func() bool {
+					q.Push(m, service)
+					return true
+				})
+			}
+			return &workload.Forker{
+				N:        threads + 1,
+				InitCost: 10 * time.Millisecond,
+				Child: func(i int) (string, sim.Program) {
+					if i == threads {
+						// Background compaction: pure batch CPU.
+						return "compaction", &workload.Loop{Burst: 2 * time.Millisecond, JitterPct: 20}
+					}
+					return fmt.Sprintf("reader-%d", i), &workload.ServerWorker{
+						Q: q, Mu: mu, CritPermille: 100, Crit: 50 * time.Microsecond,
+						OnDone: in.AddOp,
+					}
+				},
+				OnForked: func(i int, t *sim.Thread) {
+					in.Workers = append(in.Workers, t)
+					if i == threads {
+						startLoad()
+					}
+				},
+			}
+		})
+	}}
+}
+
+// Apache is the §5.3 preemption case study: httpd with 100 worker threads
+// and ab, a single-threaded load injector sending 100-request batches. On
+// CFS every response wakes a worker that preempts ab (2M preemptions in
+// the paper); ULE never preempts, letting ab batch its work.
+func Apache() Spec {
+	return Spec{Name: "apache", New: func(m *sim.Machine, env Env) *Instance {
+		const window = 100
+		const httpdThreads = 100
+		return Launch(m, "apache", env, func(in *Instance) sim.Program {
+			q := ipc.NewReqQueue("httpd")
+			in.Latency = q.Latency
+			resp := sim.NewWaitQueue("ab.resp")
+			outstanding := 0
+			return &workload.Forker{
+				N:        httpdThreads + 1,
+				InitCost: 200 * time.Microsecond,
+				Child: func(i int) (string, sim.Program) {
+					if i == httpdThreads {
+						// ab: forked last, like starting the load injector
+						// after the server is up.
+						return "ab", &workload.BatchClient{
+							Q: q, Window: window,
+							SendCost: 15 * time.Microsecond,
+							Service:  120 * time.Microsecond,
+							RespWQ:   resp, Outstanding: &outstanding,
+							OnRoundTrip: in.AddOp,
+						}
+					}
+					return fmt.Sprintf("httpd-%d", i), &workload.RespondingWorker{
+						Q: q, RespWQ: resp, Outstanding: &outstanding,
+					}
+				},
+				OnForked: func(i int, t *sim.Thread) { in.Workers = append(in.Workers, t) },
+			}
+		})
+	}}
+}
+
+// Hackbench is the kernel community's scheduler stress test: groups of 20
+// senders and 20 receivers exchanging messages over pipes. groups=10 is
+// the paper's Hackb-10 (400 threads); groups=800 is Hackb-800 (32,000
+// threads, 1% ULE overhead in §6.3). Each sender distributes msgsPerSender
+// messages round-robin over the group's 20 pipes; each receiver drains
+// msgsPerSender messages from its own pipe.
+func Hackbench(groups, msgsPerSender int) Spec {
+	name := fmt.Sprintf("hackb-%d", groups)
+	return Spec{Name: name, New: func(m *sim.Machine, env Env) *Instance {
+		const fanout = 20
+		// Round up so every pipe carries the same message count and every
+		// receiver terminates.
+		msgsPerSender = (msgsPerSender + fanout - 1) / fanout * fanout
+		return Launch(m, name, env, func(in *Instance) sim.Program {
+			receiversLeft := groups * fanout
+			return &workload.Forker{
+				N:        groups,
+				InitCost: 100 * time.Microsecond,
+				Child: func(g int) (string, sim.Program) {
+					// Each group master creates its pipes and forks its 40
+					// members: receivers first, then senders.
+					pipes := make([]*ipc.Pipe, fanout)
+					for i := range pipes {
+						pipes[i] = ipc.NewPipe(fmt.Sprintf("hb.g%d.p%d", g, i), 8)
+					}
+					return fmt.Sprintf("group-%d", g), &workload.Forker{
+						N:        2 * fanout,
+						InitCost: 20 * time.Microsecond,
+						Child: func(i int) (string, sim.Program) {
+							if i < fanout {
+								return fmt.Sprintf("recv-%d-%d", g, i), &workload.PipeReceiver{
+									Pipe: pipes[i], PerMsg: 20 * time.Microsecond,
+									Total:  msgsPerSender,
+									OnRecv: func() { in.AddOp() },
+								}
+							}
+							return fmt.Sprintf("send-%d-%d", g, i-fanout), &workload.PipeSender{
+								Pipes: pipes, PerMsg: 20 * time.Microsecond,
+								Total: msgsPerSender, MsgSize: 100,
+							}
+						},
+						OnForked: func(i int, t *sim.Thread) {
+							in.Workers = append(in.Workers, t)
+							if i < fanout {
+								t.OnExit = func(*sim.Thread) {
+									receiversLeft--
+									if receiversLeft == 0 {
+										in.MarkDone()
+									}
+								}
+							}
+						},
+					}
+				},
+			}
+		})
+	}}
+}

@@ -1,0 +1,111 @@
+// Package cfs implements the Linux Completely Fair Scheduler as the paper's
+// §2.1 describes it (Linux 4.9 semantics): weighted fair queueing over
+// vruntime on a red-black tree, cgroup fairness between applications,
+// sleeper credit on wakeup, a 1 ms wakeup-preemption granularity, PELT load
+// tracking, wake_wide/select_idle_sibling placement, and hierarchical load
+// balancing every 4 ms with a 25% NUMA imbalance threshold.
+package cfs
+
+import "time"
+
+// Params are the tunables; defaults mirror the constants the paper cites.
+type Params struct {
+	// Latency is the scheduling period for up to LatencyNrMax runnable
+	// threads (the paper: "for a core executing fewer than 8 threads the
+	// default time period is 48ms").
+	Latency time.Duration
+	// LatencyNrMax is the thread count beyond which the period stretches.
+	LatencyNrMax int
+	// MinGranularity is the per-thread floor of the period ("6ms ∗
+	// number_of_threads").
+	MinGranularity time.Duration
+	// WakeupGranularity is the vruntime gap a waking thread needs to
+	// preempt the running one ("less than 1ms, the current running thread
+	// is not preempted").
+	WakeupGranularity time.Duration
+	// SleeperCredit caps how far below min_vruntime a waking sleeper is
+	// placed (kernel GENTLE_FAIR_SLEEPERS: sysctl_sched_latency/2 = 3 ms);
+	// together with the tick check it keeps the runnable vruntime spread
+	// within the paper's 6 ms preemption period.
+	SleeperCredit time.Duration
+	// MigrationCost is the cache-hot window: a thread that ran within it
+	// is skipped by the balancer (kernel sysctl_sched_migration_cost).
+	MigrationCost time.Duration
+	// BalanceInterval is the periodic load-balance interval per core ("every
+	// 4ms every core tries to steal work from other cores").
+	BalanceInterval time.Duration
+	// NUMABalanceMult stretches the balance interval at the NUMA level
+	// ("the greater the distance ... the higher the imbalance has to be",
+	// and balancing across nodes happens less often).
+	NUMABalanceMult int
+	// LLCImbalancePct is the busiest/local load ratio (percent) required
+	// to balance within an LLC domain (kernel imbalance_pct=117).
+	LLCImbalancePct int
+	// NUMAImbalancePct is the ratio across NUMA nodes ("less than 25% ...
+	// no load balancing is performed" → 125).
+	NUMAImbalancePct int
+	// MaxMigrate caps threads moved per balance pass ("stealing as many as
+	// 32 threads").
+	MaxMigrate int
+	// Cgroups enables per-application group fairness (post-2.6.38
+	// behaviour; the ablation turns it off to recover per-thread
+	// fairness).
+	Cgroups bool
+	// WakeWideFactor is the wakee-flip threshold (≈ LLC size) detecting
+	// 1-to-many producer/consumer patterns.
+	WakeWideFactor int
+}
+
+// DefaultParams returns the paper's CFS configuration.
+func DefaultParams() Params {
+	return Params{
+		Latency:           48 * time.Millisecond,
+		LatencyNrMax:      8,
+		MinGranularity:    6 * time.Millisecond,
+		WakeupGranularity: time.Millisecond,
+		SleeperCredit:     3 * time.Millisecond,
+		MigrationCost:     500 * time.Microsecond,
+		BalanceInterval:   4 * time.Millisecond,
+		NUMABalanceMult:   8,
+		LLCImbalancePct:   117,
+		NUMAImbalancePct:  125,
+		MaxMigrate:        32,
+		Cgroups:           true,
+		WakeWideFactor:    8,
+	}
+}
+
+// NiceToWeight is the kernel's sched_prio_to_weight table: nice 0 = 1024,
+// each step ≈ ×1.25, indexed by nice+20.
+var NiceToWeight = [40]int64{
+	88761, 71755, 56483, 46273, 36291,
+	29154, 23254, 18705, 14949, 11916,
+	9548, 7620, 6100, 4904, 3906,
+	3121, 2501, 1991, 1586, 1277,
+	1024, 820, 655, 526, 423,
+	335, 272, 215, 172, 137,
+	110, 87, 70, 56, 45,
+	36, 29, 23, 18, 15,
+}
+
+// nice0Weight is the unit weight (NICE_0_LOAD).
+const nice0Weight = 1024
+
+// weightOf maps a niceness to its load weight.
+func weightOf(nice int) int64 {
+	if nice < -20 {
+		nice = -20
+	}
+	if nice > 19 {
+		nice = 19
+	}
+	return NiceToWeight[nice+20]
+}
+
+// period returns the scheduling period for nr runnable threads.
+func (p Params) period(nr int) time.Duration {
+	if nr <= p.LatencyNrMax {
+		return p.Latency
+	}
+	return time.Duration(nr) * p.MinGranularity
+}

@@ -1,0 +1,153 @@
+package cfs
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// selectCore is select_task_rq_fair: wake_wide detection, affine
+// select_idle_sibling within the waker's LLC for 1-to-1 patterns, and a
+// find-idlest sweep over the whole machine for forks and 1-to-many
+// patterns — "if CFS detects a 1-to-many producer-consumer pattern, then it
+// spreads out the consumer threads as much as possible" (§2.1).
+func (s *Sched) selectCore(t *sim.Thread, origin *sim.Core, flags int) *sim.Core {
+	se := s.ent(t)
+
+	if flags&sim.FlagFork != 0 {
+		return s.findIdlest(t, origin)
+	}
+
+	// Wakeup: update the waker's flip counter.
+	wide := false
+	if origin != nil && origin.Curr != nil {
+		waker := s.ent(origin.Curr)
+		s.recordWakee(waker, se)
+		wide = s.wakeWide(waker)
+	}
+
+	prev := t.LastCore
+	if prev == nil {
+		prev = origin
+	}
+	if prev == nil {
+		prev = s.m.Cores[0]
+	}
+
+	if wide {
+		return s.findIdlest(t, origin)
+	}
+
+	// Affine path: wake_affine chooses between the waker's core and the
+	// previous core; prefer whichever side is less loaded, then run
+	// select_idle_sibling in that LLC.
+	target := prev
+	if origin != nil && t.CanRunOn(origin.ID) &&
+		s.cores[origin.ID].runnableLoad() < s.cores[prev.ID].runnableLoad() {
+		target = origin
+	}
+	if !t.CanRunOn(target.ID) {
+		return s.firstAllowed(t, origin)
+	}
+	return s.selectIdleSibling(t, target, origin)
+}
+
+// recordWakee maintains the wakee-flip counter (record_wakee): switching
+// wakee targets frequently signals a 1-to-many pattern.
+func (s *Sched) recordWakee(waker, wakee *entity) {
+	now := s.m.Now()
+	if now-waker.flipDecay > time.Second {
+		waker.wakeeFlips >>= 1
+		waker.flipDecay = now
+	}
+	if waker.lastWakee != wakee {
+		waker.lastWakee = wakee
+		waker.wakeeFlips++
+	}
+}
+
+// wakeWide reports whether the waker fans out to enough distinct wakees to
+// overflow an LLC (wake_wide).
+func (s *Sched) wakeWide(waker *entity) bool {
+	return waker.wakeeFlips > s.P.WakeWideFactor
+}
+
+// selectIdleSibling looks for an idle core in target's LLC, preferring
+// target itself, then the previous core, then any idle sibling; falling
+// back to target (select_idle_sibling).
+func (s *Sched) selectIdleSibling(t *sim.Thread, target *sim.Core, origin *sim.Core) *sim.Core {
+	if s.coreIdle(target.ID) {
+		return target
+	}
+	group := s.m.Topo.Group(target.ID, topo.LevelLLC)
+	scanned := 0
+	var pick *sim.Core
+	for _, id := range group {
+		scanned++
+		if !t.CanRunOn(id) {
+			continue
+		}
+		if s.coreIdle(id) {
+			pick = s.m.Cores[id]
+			break
+		}
+	}
+	s.chargeScan(origin, target, scanned)
+	if pick != nil {
+		return pick
+	}
+	return target
+}
+
+// findIdlest scans all allowed cores for the lowest PELT load
+// (find_idlest_group/cpu collapsed to one sweep).
+func (s *Sched) findIdlest(t *sim.Thread, origin *sim.Core) *sim.Core {
+	var best *sim.Core
+	var bestLoad int64
+	scanned := 0
+	for id, cs := range s.cores {
+		scanned++
+		if !t.CanRunOn(id) {
+			continue
+		}
+		if best == nil || cs.runnableLoad() < bestLoad {
+			best = s.m.Cores[id]
+			bestLoad = cs.runnableLoad()
+		}
+	}
+	s.chargeScan(origin, best, scanned)
+	if best == nil {
+		panic("cfs: no allowed core for " + t.Name)
+	}
+	return best
+}
+
+// firstAllowed is the affinity fallback.
+func (s *Sched) firstAllowed(t *sim.Thread, origin *sim.Core) *sim.Core {
+	for id := range s.cores {
+		if t.CanRunOn(id) {
+			return s.m.Cores[id]
+		}
+	}
+	panic("cfs: thread pinned to no cores")
+}
+
+// coreIdle reports whether a core has no runnable threads.
+func (s *Sched) coreIdle(id int) bool { return s.cores[id].hNr == 0 }
+
+// chargeScan bills the placement scan to the waking core.
+func (s *Sched) chargeScan(origin, fallback *sim.Core, cores int) {
+	if s.m.Cost.PerCoreScanCost <= 0 || cores == 0 {
+		return
+	}
+	payer := origin
+	if payer == nil {
+		payer = fallback
+	}
+	if payer == nil {
+		return
+	}
+	s.m.ChargeScan(payer, time.Duration(cores)*s.m.Cost.PerCoreScanCost)
+	s.m.Counters.Get("cfs.scan_cores").Inc(uint64(cores))
+}

@@ -1,0 +1,181 @@
+// Package core is the reproduction's experiment harness — the paper's
+// primary contribution is the apples-to-apples comparison of ULE and CFS in
+// an otherwise identical environment, and this package encodes every
+// comparison the evaluation (§5–§6) reports: one driver per figure and
+// table, each returning the same rows/series the paper plots, plus the
+// ablations DESIGN.md lists.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cfs"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/ule"
+)
+
+// SchedulerKind selects a scheduling class.
+type SchedulerKind string
+
+// Scheduler kinds.
+const (
+	CFS  SchedulerKind = "cfs"
+	ULE  SchedulerKind = "ule"
+	FIFO SchedulerKind = "fifo"
+)
+
+// MachineConfig assembles a simulated machine for an experiment.
+type MachineConfig struct {
+	// Cores selects the topology: 1 uses a single-core machine, 8 the
+	// desktop layout, anything else the paper's 32-core/4-node box.
+	Cores int
+	// Kind picks the scheduler.
+	Kind SchedulerKind
+	// Seed drives all randomness.
+	Seed int64
+	// CFSParams/ULEParams override scheduler defaults when non-nil.
+	CFSParams *cfs.Params
+	ULEParams *ule.Params
+	// Cost overrides the default cost model when non-nil.
+	Cost *sim.CostModel
+	// TraceCapacity retains that many trace records.
+	TraceCapacity int
+	// KernelNoise starts per-core kworker threads (multicore experiments).
+	KernelNoise bool
+}
+
+// Topology returns the topo for the configured core count.
+func (mc MachineConfig) Topology() *topo.Topology {
+	switch mc.Cores {
+	case 0, 32:
+		return topo.Default()
+	case 1:
+		return topo.SingleCore()
+	case 8:
+		return topo.Small()
+	default:
+		return topo.MustNew(topo.Config{NUMANodes: 1, LLCsPerNode: 1, CoresPerLLC: mc.Cores})
+	}
+}
+
+// NewMachine builds the machine and scheduler.
+func NewMachine(mc MachineConfig) *sim.Machine {
+	var sched sim.Scheduler
+	switch mc.Kind {
+	case CFS:
+		p := cfs.DefaultParams()
+		if mc.CFSParams != nil {
+			p = *mc.CFSParams
+		}
+		sched = cfs.New(p)
+	case ULE:
+		p := ule.DefaultParams()
+		if mc.ULEParams != nil {
+			p = *mc.ULEParams
+		}
+		sched = ule.New(p)
+	case FIFO:
+		sched = sim.NewFIFO()
+	default:
+		panic(fmt.Sprintf("core: unknown scheduler kind %q", mc.Kind))
+	}
+	if mc.Seed == 0 {
+		mc.Seed = 42
+	}
+	return sim.NewMachine(mc.Topology(), sched, sim.Options{
+		Seed:          mc.Seed,
+		Cost:          mc.Cost,
+		TraceCapacity: mc.TraceCapacity,
+	})
+}
+
+// Row is one output row of an experiment (a table line or a bar).
+type Row struct {
+	Label  string
+	Values map[string]float64
+	// Order lists value keys in printing order.
+	Order []string
+}
+
+// Result is an experiment's output: rows (tables/bars) and named series
+// (figures), plus free-form notes.
+type Result struct {
+	ID    string
+	Title string
+	Rows  []Row
+	// Series holds figure curves, e.g. per-thread cumulative runtimes.
+	Series map[string]*stats.SeriesSet
+	Notes  []string
+}
+
+// AddNote appends a free-form observation.
+func (r *Result) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the result as aligned text, the form the harness prints.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-18s", row.Label)
+		keys := row.Order
+		if keys == nil {
+			for k := range row.Values {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+		}
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %s=%.4g", k, row.Values[k])
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is a registered, runnable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	// Run executes with the given scale in (0,1]; 1 is the paper-sized
+	// run, smaller values shrink durations for benchmarks.
+	Run func(scale float64) *Result
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Experiments lists all registered experiments in registration order.
+func Experiments() []Experiment { return registry }
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("core: unknown experiment %q", id)
+}
+
+// scaleDur shortens a duration by the scale factor, with a floor.
+func scaleDur(d time.Duration, scale float64, floor time.Duration) time.Duration {
+	out := time.Duration(float64(d) * scale)
+	if out < floor {
+		out = floor
+	}
+	return out
+}
+
+// defaultCFSParams returns a copy of the CFS defaults for ablations.
+func defaultCFSParams() cfs.Params { return cfs.DefaultParams() }

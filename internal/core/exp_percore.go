@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/ule"
+)
+
+// coSchedOutcome carries everything Figures 1/2 and Table 2 read from one
+// fibo+sysbench run.
+type coSchedOutcome struct {
+	kind SchedulerKind
+	// runtime series (seconds of accumulated CPU) for fibo and sysbench.
+	runtimes *stats.SeriesSet
+	// penalty series for fibo and the sysbench worker mean (ULE only).
+	penalties *stats.SeriesSet
+	// sysbench results
+	txPerSec   float64
+	latencyAvg time.Duration
+	sysbenchT  time.Duration // completion time of the fixed workload
+	// fibo time to accumulate its fixed work
+	fiboT time.Duration
+	// fibo runtime accumulated while sysbench was active
+	fiboDuring time.Duration
+}
+
+// runCoSched executes the §5.1 workload: fibo alone for 7 s, then sysbench
+// (80 mostly-sleeping threads) to a fixed transaction count, on one core.
+func runCoSched(kind SchedulerKind, scale float64) *coSchedOutcome {
+	m := NewMachine(MachineConfig{Cores: 1, Kind: kind, Seed: 1})
+	out := &coSchedOutcome{
+		kind:      kind,
+		runtimes:  stats.NewSeriesSet(),
+		penalties: stats.NewSeriesSet(),
+	}
+
+	fiboWork := scaleDur(60*time.Second, scale, 3*time.Second)
+	txTarget := uint64(40000 * scale)
+	if txTarget < 2000 {
+		txTarget = 2000
+	}
+
+	fiboStart := apps.ShellWarmup
+	sysbenchStart := fiboStart + 7*time.Second
+
+	fibo := apps.Fibo().New(m, apps.Env{Cores: 1, StartAt: fiboStart})
+	cfg := apps.DefaultSysbench()
+	cfg.TxTarget = txTarget
+	sys := apps.Sysbench(cfg).New(m, apps.Env{Cores: 1, StartAt: sysbenchStart})
+
+	var uleSched *ule.Sched
+	if u, ok := m.Scheduler().(*ule.Sched); ok {
+		uleSched = u
+	}
+
+	sysRun := func() time.Duration {
+		var total time.Duration
+		for _, w := range sys.Workers {
+			total += w.RunTime
+		}
+		if sys.Master != nil {
+			total += sys.Master.RunTime
+		}
+		return total
+	}
+
+	// Periodic probe: cumulative runtimes (Figure 1) and interactivity
+	// penalties (Figure 2).
+	m.Every(250*time.Millisecond, 250*time.Millisecond, func() bool {
+		now := m.Now() - fiboStart
+		if fibo.Master != nil {
+			out.runtimes.Get("fibo").Add(now, fibo.Master.RunTime.Seconds())
+			if uleSched != nil {
+				out.penalties.Get("fibo").Add(now, float64(uleSched.Score(fibo.Master)))
+			}
+		}
+		out.runtimes.Get("sysbench").Add(now, sysRun().Seconds())
+		if uleSched != nil && len(sys.Workers) > 0 {
+			var sum int
+			for _, w := range sys.Workers {
+				sum += uleSched.Score(w)
+			}
+			out.penalties.Get("sysbench").Add(now, float64(sum)/float64(len(sys.Workers)))
+		}
+		return true
+	})
+
+	deadline := sysbenchStart + scaleDur(500*time.Second, scale, 60*time.Second)
+	fiboBeforeSys := time.Duration(0)
+	m.RunUntil(func() bool {
+		if m.Now() <= sysbenchStart && fibo.Master != nil {
+			fiboBeforeSys = fibo.Master.RunTime
+		}
+		return sys.Done()
+	}, deadline)
+	sysEnd := m.Now()
+	out.sysbenchT = sysEnd - sysbenchStart
+	out.txPerSec = float64(sys.Ops()) / out.sysbenchT.Seconds()
+	out.latencyAvg = sys.Latency.Mean()
+	if fibo.Master != nil {
+		out.fiboDuring = fibo.Master.RunTime - fiboBeforeSys
+	}
+
+	// Let fibo finish its fixed work alone.
+	m.RunUntil(func() bool {
+		return fibo.Master != nil && fibo.Master.RunTime >= fiboWork
+	}, sysEnd+2*fiboWork+60*time.Second)
+	out.fiboT = m.Now() - fiboStart
+	return out
+}
+
+var coSchedCache = map[string]*coSchedOutcome{}
+
+func coSched(kind SchedulerKind, scale float64) *coSchedOutcome {
+	key := fmt.Sprintf("%s/%.3f", kind, scale)
+	if o, ok := coSchedCache[key]; ok {
+		return o
+	}
+	o := runCoSched(kind, scale)
+	coSchedCache[key] = o
+	return o
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Cumulative runtime of fibo and sysbench on (a) CFS and (b) ULE",
+		Run: func(scale float64) *Result {
+			r := &Result{ID: "fig1", Title: "fibo/sysbench cumulative runtime", Series: map[string]*stats.SeriesSet{}}
+			for _, kind := range []SchedulerKind{CFS, ULE} {
+				o := coSched(kind, scale)
+				r.Series[string(kind)] = o.runtimes
+				during := o.fiboDuring.Seconds()
+				r.Rows = append(r.Rows, Row{
+					Label: string(kind),
+					Order: []string{"fibo_runtime_during_sysbench_s", "sysbench_completion_s"},
+					Values: map[string]float64{
+						"fibo_runtime_during_sysbench_s": during,
+						"sysbench_completion_s":          o.sysbenchT.Seconds(),
+					},
+				})
+			}
+			c, u := coSched(CFS, scale), coSched(ULE, scale)
+			r.AddNote("paper: on CFS fibo keeps accumulating runtime during sysbench; on ULE it is starved (unbounded)")
+			r.AddNote("measured: fibo ran %.1fs (CFS) vs %.2fs (ULE) while sysbench was active",
+				c.fiboDuring.Seconds(), u.fiboDuring.Seconds())
+			return r
+		},
+	})
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Interactivity penalty of fibo and sysbench threads over time (ULE)",
+		Run: func(scale float64) *Result {
+			o := coSched(ULE, scale)
+			r := &Result{ID: "fig2", Title: "ULE interactivity penalties", Series: map[string]*stats.SeriesSet{"ule": o.penalties}}
+			fiboMax := o.penalties.Get("fibo").Max()
+			sysLast := o.penalties.Get("sysbench").Last().V
+			r.Rows = append(r.Rows, Row{
+				Label: "penalty",
+				Order: []string{"fibo_max", "sysbench_final_mean"},
+				Values: map[string]float64{
+					"fibo_max":            fiboMax,
+					"sysbench_final_mean": sysLast,
+				},
+			})
+			r.AddNote("paper: fibo's penalty rises to the maximum (100) while sysbench threads drop below 30 (interactive)")
+			return r
+		},
+	})
+	register(Experiment{
+		ID:    "table2",
+		Title: "Execution time of fibo and sysbench; sysbench throughput and latency",
+		Run: func(scale float64) *Result {
+			r := &Result{ID: "table2", Title: "fibo/sysbench co-scheduling results"}
+			for _, kind := range []SchedulerKind{CFS, ULE} {
+				o := coSched(kind, scale)
+				r.Rows = append(r.Rows, Row{
+					Label: string(kind),
+					Order: []string{"fibo_runtime_s", "sysbench_tx_per_s", "sysbench_avg_latency_ms"},
+					Values: map[string]float64{
+						"fibo_runtime_s":          o.fiboT.Seconds(),
+						"sysbench_tx_per_s":       o.txPerSec,
+						"sysbench_avg_latency_ms": float64(o.latencyAvg.Milliseconds()),
+					},
+				})
+			}
+			c, u := coSched(CFS, scale), coSched(ULE, scale)
+			r.AddNote("paper: fibo 160s vs 158s; sysbench 290 vs 532 tx/s; latency 441ms vs 125ms")
+			r.AddNote("measured ULE/CFS: tx ratio %.2f (paper 1.83), latency ratio %.2f (paper 0.28)",
+				u.txPerSec/c.txPerSec, float64(u.latencyAvg)/float64(c.latencyAvg))
+			return r
+		},
+	})
+}
+
+// fig3/fig4: sysbench alone on one core under ULE, 128 threads.
+func init() {
+	type outcome struct {
+		runtimes      *stats.SeriesSet
+		penalties     *stats.SeriesSet
+		inter         int
+		batch         int
+		starvedBatch  int
+		executedInter int
+	}
+	var cache = map[float64]*outcome{}
+	run := func(scale float64) *outcome {
+		if o, ok := cache[scale]; ok {
+			return o
+		}
+		m := NewMachine(MachineConfig{Cores: 1, Kind: ULE, Seed: 2})
+		u := m.Scheduler().(*ule.Sched)
+		cfg := apps.DefaultSysbench()
+		cfg.Threads = 128
+		sys := apps.Sysbench(cfg).New(m, apps.Env{Cores: 1})
+		o := &outcome{runtimes: stats.NewSeriesSet(), penalties: stats.NewSeriesSet()}
+		m.Every(time.Second, time.Second, func() bool {
+			now := m.Now() - apps.ShellWarmup
+			if sys.Master != nil {
+				o.runtimes.Get("master").Add(now, sys.Master.RunTime.Seconds())
+				o.penalties.Get("master").Add(now, float64(u.Score(sys.Master)))
+			}
+			for i, w := range sys.Workers {
+				// Sample a representative subset of workers: every 8th.
+				if i%8 == 0 {
+					o.runtimes.Get(fmt.Sprintf("worker-%d", i)).Add(now, w.RunTime.Seconds())
+					o.penalties.Get(fmt.Sprintf("worker-%d", i)).Add(now, float64(u.Score(w)))
+				}
+			}
+			return true
+		})
+		m.Run(apps.ShellWarmup + scaleDur(140*time.Second, scale, 20*time.Second))
+		for _, w := range sys.Workers {
+			if u.Interactive(w) {
+				o.inter++
+				if w.RunTime >= 10*time.Millisecond {
+					o.executedInter++
+				}
+			} else {
+				o.batch++
+				if w.RunTime < 10*time.Millisecond {
+					o.starvedBatch++
+				}
+			}
+		}
+		cache[scale] = o
+		return o
+	}
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Cumulative runtime of sysbench threads on ULE (intra-app starvation)",
+		Run: func(scale float64) *Result {
+			o := run(scale)
+			r := &Result{ID: "fig3", Title: "sysbench per-thread runtime under ULE", Series: map[string]*stats.SeriesSet{"runtime": o.runtimes}}
+			r.Rows = append(r.Rows, Row{
+				Label: "threads",
+				Order: []string{"interactive", "batch", "interactive_executed", "batch_starved"},
+				Values: map[string]float64{
+					"interactive":          float64(o.inter),
+					"batch":                float64(o.batch),
+					"interactive_executed": float64(o.executedInter),
+					"batch_starved":        float64(o.starvedBatch),
+				},
+			})
+			r.AddNote("paper: 80 threads classified interactive and executed, 48 batch and starved")
+			return r
+		},
+	})
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Interactivity penalty of the sysbench threads of fig3",
+		Run: func(scale float64) *Result {
+			o := run(scale)
+			r := &Result{ID: "fig4", Title: "sysbench per-thread penalties under ULE", Series: map[string]*stats.SeriesSet{"penalty": o.penalties}}
+			lo, hi := 0, 0
+			o.penalties.Each(func(s *stats.Series) {
+				if s.Name == "master" {
+					return
+				}
+				if s.Last().V <= 30 {
+					lo++
+				} else {
+					hi++
+				}
+			})
+			r.Rows = append(r.Rows, Row{
+				Label: "sampled-workers",
+				Order: []string{"low_penalty", "high_penalty"},
+				Values: map[string]float64{
+					"low_penalty":  float64(lo),
+					"high_penalty": float64(hi),
+				},
+			})
+			r.AddNote("paper: early-forked threads' penalties decay to 0; late-forked ones stay high and never run")
+			return r
+		},
+	})
+	_ = sim.StateDead
+}

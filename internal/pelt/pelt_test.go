@@ -1,0 +1,136 @@
+package pelt
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAlwaysRunningConverges(t *testing.T) {
+	var a Avg
+	// 2 seconds of continuous running in 1ms steps.
+	for now := time.Millisecond; now <= 2*time.Second; now += time.Millisecond {
+		a.Update(now, true)
+	}
+	u := a.Utilization()
+	if u < 0.97 {
+		t.Fatalf("utilization after 2s running = %v, want ~1", u)
+	}
+	if l := a.Load(1024); l < 990 || l > 1040 {
+		t.Fatalf("Load(1024) = %d, want ~1024", l)
+	}
+}
+
+func TestIdleDecays(t *testing.T) {
+	var a Avg
+	for now := time.Millisecond; now <= time.Second; now += time.Millisecond {
+		a.Update(now, true)
+	}
+	high := a.Utilization()
+	// ~32ms of idleness should halve the sum (half-life).
+	a.Update(time.Second+33*time.Millisecond, false)
+	mid := a.Utilization()
+	if mid > 0.6*high || mid < 0.4*high {
+		t.Fatalf("after one half-life: %v, want ~half of %v", mid, high)
+	}
+	// Long idle decays to ~0.
+	a.Update(3*time.Second, false)
+	if a.Utilization() > 0.001 {
+		t.Fatalf("after 2s idle: %v, want ~0", a.Utilization())
+	}
+}
+
+func TestFiftyPercentDuty(t *testing.T) {
+	var a Avg
+	// 1ms on, 1ms off for 2 seconds.
+	now := time.Duration(0)
+	for i := 0; i < 1000; i++ {
+		now += time.Millisecond
+		a.Update(now, true)
+		now += time.Millisecond
+		a.Update(now, false)
+	}
+	u := a.Utilization()
+	if u < 0.40 || u > 0.60 {
+		t.Fatalf("50%% duty cycle utilization = %v", u)
+	}
+}
+
+func TestMostlySleepingIsLight(t *testing.T) {
+	// The paper's example: a thread that mostly sleeps has low load.
+	var a Avg
+	now := time.Duration(0)
+	for i := 0; i < 200; i++ {
+		now += 100 * time.Microsecond
+		a.Update(now, true)
+		now += 10 * time.Millisecond
+		a.Update(now, false)
+	}
+	if u := a.Utilization(); u > 0.05 {
+		t.Fatalf("mostly-sleeping utilization = %v, want < 0.05", u)
+	}
+}
+
+func TestUpdateIgnoresNonMonotonic(t *testing.T) {
+	var a Avg
+	a.Update(time.Second, true)
+	s := a.Sum()
+	a.Update(500*time.Millisecond, true) // must be a no-op
+	if a.Sum() != s || a.LastUpdate() != time.Second {
+		t.Fatal("non-monotonic update changed state")
+	}
+}
+
+func TestDecayHalving(t *testing.T) {
+	if got := decay(1<<20, 32); got != 1<<19 {
+		t.Fatalf("decay by 32 windows = %d, want exact halving", got)
+	}
+	if got := decay(1000, 0); got != 1000 {
+		t.Fatalf("decay by 0 = %d", got)
+	}
+	if got := decay(0, 100); got != 0 {
+		t.Fatal("decay of 0 nonzero")
+	}
+	// Monotone: more windows, less remains.
+	prev := uint64(1 << 30)
+	for n := 1; n < 200; n++ {
+		got := decay(1<<30, n)
+		if got > prev {
+			t.Fatalf("decay(%d) = %d > decay(%d) = %d", n, got, n-1, prev)
+		}
+		prev = got
+	}
+}
+
+// Property: utilization is always within [0,1] and load is monotone in
+// weight, for arbitrary run/idle schedules.
+func TestQuickBounds(t *testing.T) {
+	f := func(steps []bool) bool {
+		var a Avg
+		now := time.Duration(0)
+		for _, run := range steps {
+			now += 700 * time.Microsecond
+			a.Update(now, run)
+			u := a.Utilization()
+			if u < 0 || u > 1 {
+				return false
+			}
+			if a.Load(512) > a.Load(1024) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBigGapSingleUpdate(t *testing.T) {
+	var a Avg
+	// One giant running interval should saturate close to max.
+	a.Update(10*time.Second, true)
+	if u := a.Utilization(); u < 0.95 {
+		t.Fatalf("after one 10s running update: %v", u)
+	}
+}

@@ -1,0 +1,4 @@
+package rbtree
+
+// CheckInvariants exposes the internal validator to tests.
+func (t *Tree) CheckInvariants() error { return t.checkInvariants() }

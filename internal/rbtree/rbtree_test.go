@@ -1,0 +1,208 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+type intItem struct {
+	key int
+	id  int
+}
+
+func (a *intItem) Less(b Item) bool {
+	o := b.(*intItem)
+	if a.key != o.key {
+		return a.key < o.key
+	}
+	return a.id < o.id
+}
+
+func TestEmpty(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 || tr.Min() != nil || tr.PopMin() != nil {
+		t.Fatal("empty tree misbehaves")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDeleteSmall(t *testing.T) {
+	var tr Tree
+	items := []*intItem{{5, 0}, {3, 1}, {8, 2}, {1, 3}, {4, 4}, {7, 5}, {9, 6}}
+	for _, it := range items {
+		tr.Insert(it)
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after insert %v: %v", it.key, err)
+		}
+	}
+	if tr.Len() != len(items) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Min().(*intItem).key != 1 {
+		t.Fatalf("Min = %v", tr.Min())
+	}
+	tr.Delete(items[3]) // key 1
+	if tr.Min().(*intItem).key != 3 {
+		t.Fatalf("Min after delete = %v", tr.Min())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopMinOrder(t *testing.T) {
+	var tr Tree
+	rng := rand.New(rand.NewSource(1))
+	var keys []int
+	for i := 0; i < 200; i++ {
+		k := rng.Intn(50) // duplicates on purpose
+		keys = append(keys, k)
+		tr.Insert(&intItem{k, i})
+	}
+	sort.Ints(keys)
+	for i, want := range keys {
+		got := tr.PopMin().(*intItem).key
+		if got != want {
+			t.Fatalf("pop %d: got %d, want %d", i, got, want)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after draining = %d", tr.Len())
+	}
+}
+
+func TestDuplicateInsertPanics(t *testing.T) {
+	var tr Tree
+	it := &intItem{1, 1}
+	tr.Insert(it)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate insert did not panic")
+		}
+	}()
+	tr.Insert(it)
+}
+
+func TestDeleteAbsentPanics(t *testing.T) {
+	var tr Tree
+	defer func() {
+		if recover() == nil {
+			t.Fatal("absent delete did not panic")
+		}
+	}()
+	tr.Delete(&intItem{1, 1})
+}
+
+func TestContains(t *testing.T) {
+	var tr Tree
+	a, b := &intItem{1, 1}, &intItem{2, 2}
+	tr.Insert(a)
+	if !tr.Contains(a) || tr.Contains(b) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 10; i++ {
+		tr.Insert(&intItem{i, i})
+	}
+	var n int
+	tr.Ascend(func(Item) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("visited %d, want 3", n)
+	}
+	if got := len(tr.Items()); got != 10 {
+		t.Fatalf("Items len = %d", got)
+	}
+}
+
+// TestRandomOperations drives the tree with a random insert/delete workload
+// checking invariants continuously, mimicking the enqueue/dequeue churn a
+// runqueue sees.
+func TestRandomOperations(t *testing.T) {
+	var tr Tree
+	rng := rand.New(rand.NewSource(42))
+	live := map[*intItem]bool{}
+	var liveList []*intItem
+	for step := 0; step < 5000; step++ {
+		if len(liveList) == 0 || rng.Intn(100) < 55 {
+			it := &intItem{rng.Intn(1000), step}
+			tr.Insert(it)
+			live[it] = true
+			liveList = append(liveList, it)
+		} else {
+			i := rng.Intn(len(liveList))
+			it := liveList[i]
+			liveList[i] = liveList[len(liveList)-1]
+			liveList = liveList[:len(liveList)-1]
+			delete(live, it)
+			tr.Delete(it)
+		}
+		if step%257 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if tr.Len() != len(live) {
+				t.Fatalf("step %d: Len = %d, live = %d", step, tr.Len(), len(live))
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any sequence of keys, inserting then draining with PopMin
+// yields the sorted sequence and keeps the tree valid.
+func TestQuickInsertDrainSorted(t *testing.T) {
+	f := func(keys []int16) bool {
+		var tr Tree
+		for i, k := range keys {
+			tr.Insert(&intItem{int(k), i})
+		}
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		want := make([]int, len(keys))
+		for i, k := range keys {
+			want[i] = int(k)
+		}
+		sort.Ints(want)
+		for _, w := range want {
+			got := tr.PopMin()
+			if got == nil || got.(*intItem).key != w {
+				return false
+			}
+		}
+		return tr.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsertPopMin(b *testing.B) {
+	var tr Tree
+	rng := rand.New(rand.NewSource(7))
+	items := make([]*intItem, 1024)
+	for i := range items {
+		items[i] = &intItem{rng.Intn(1 << 20), i}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := items[i%len(items)]
+		it.id = i // keep identities unique across rounds
+		tr.Insert(it)
+		if tr.Len() > 512 {
+			tr.PopMin()
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package runq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func entries(n int) []*Entry {
+	es := make([]*Entry, n)
+	for i := range es {
+		es[i] = &Entry{Payload: i}
+	}
+	return es
+}
+
+func TestQueueFIFOWithinPriority(t *testing.T) {
+	var q Queue
+	es := entries(3)
+	for _, e := range es {
+		q.Add(e, 5)
+	}
+	for i := 0; i < 3; i++ {
+		got := q.Choose()
+		if got != es[i] {
+			t.Fatalf("choose %d: got %v, want %v", i, got.Payload, es[i].Payload)
+		}
+		q.Remove(got)
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty")
+	}
+}
+
+func TestQueuePriorityOrder(t *testing.T) {
+	var q Queue
+	es := entries(3)
+	q.Add(es[0], 40)
+	q.Add(es[1], 3)
+	q.Add(es[2], 63)
+	if got := q.Choose(); got != es[1] {
+		t.Fatalf("Choose = %v, want pri-3 entry", got.Payload)
+	}
+	if got := q.BestPri(); got != 3 {
+		t.Fatalf("BestPri = %d", got)
+	}
+	if got := q.Last(); got != es[2] {
+		t.Fatalf("Last = %v, want pri-63 entry", got.Payload)
+	}
+	q.Remove(es[1])
+	if got := q.BestPri(); got != 40 {
+		t.Fatalf("BestPri after remove = %d", got)
+	}
+}
+
+func TestQueueAddHead(t *testing.T) {
+	var q Queue
+	es := entries(2)
+	q.Add(es[0], 10)
+	q.AddHead(es[1], 10)
+	if got := q.Choose(); got != es[1] {
+		t.Fatal("AddHead entry should be chosen first")
+	}
+}
+
+func TestQueueBestPriEmpty(t *testing.T) {
+	var q Queue
+	if q.BestPri() != NQS {
+		t.Fatalf("BestPri on empty = %d, want %d", q.BestPri(), NQS)
+	}
+	if q.Choose() != nil || q.Last() != nil {
+		t.Fatal("empty queue returned an entry")
+	}
+}
+
+func TestQueuePanics(t *testing.T) {
+	var q Queue
+	e := &Entry{}
+	mustPanic(t, "double add", func() { q.Add(e, 0); q.Add(e, 0) })
+	q.Remove(e)
+	mustPanic(t, "remove unqueued", func() { q.Remove(e) })
+	mustPanic(t, "bad pri", func() { q.Add(&Entry{}, NQS) })
+	mustPanic(t, "neg pri", func() { q.Add(&Entry{}, -1) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: no panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestQueueEachOrder(t *testing.T) {
+	var q Queue
+	es := entries(4)
+	q.Add(es[0], 9)
+	q.Add(es[1], 2)
+	q.Add(es[2], 9)
+	q.Add(es[3], 30)
+	var got []int
+	q.Each(func(e *Entry) bool {
+		got = append(got, e.Payload.(int))
+		return true
+	})
+	want := []int{1, 0, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Each order = %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	q.Each(func(*Entry) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// TestQueueBitmapConsistency drives random adds/removes and checks the
+// bitmap always matches the FIFO occupancy.
+func TestQueueBitmapConsistency(t *testing.T) {
+	var q Queue
+	rng := rand.New(rand.NewSource(3))
+	var live []*Entry
+	for step := 0; step < 3000; step++ {
+		if len(live) == 0 || rng.Intn(10) < 6 {
+			e := &Entry{Payload: step}
+			q.Add(e, rng.Intn(NQS))
+			live = append(live, e)
+		} else {
+			i := rng.Intn(len(live))
+			q.Remove(live[i])
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if q.Len() != len(live) {
+			t.Fatalf("step %d: Len=%d live=%d", step, q.Len(), len(live))
+		}
+		if (q.Len() == 0) != q.Empty() {
+			t.Fatal("Empty inconsistent")
+		}
+		if q.Len() > 0 {
+			best := q.BestPri()
+			if q.Choose().Pri != best {
+				t.Fatalf("step %d: Choose pri %d != BestPri %d", step, q.Choose().Pri, best)
+			}
+		}
+	}
+}
+
+func TestCalendarRotation(t *testing.T) {
+	var c Calendar
+	es := entries(3)
+	// Same priority, inserted at different calendar positions.
+	c.Add(es[0], 10)
+	c.Advance()
+	c.Advance()
+	c.Add(es[1], 10)
+	c.Add(es[2], 0)
+	// es[2] at slot insIdx+0=2, es[0] at slot 10, es[1] at slot 12.
+	first := c.Choose()
+	if first != es[2] {
+		t.Fatalf("Choose = %v, want entry at nearest slot", first.Payload)
+	}
+	c.Remove(first)
+	if got := c.Choose(); got != es[0] {
+		t.Fatalf("second Choose = %v, want es[0]", got.Payload)
+	}
+}
+
+func TestCalendarWraparound(t *testing.T) {
+	var c Calendar
+	// Advance insertion index near the end so slots wrap.
+	for i := 0; i < NQS-2; i++ {
+		c.Advance()
+	}
+	es := entries(2)
+	c.Add(es[0], 5) // slot (62+5)%64 = 3
+	c.Add(es[1], 1) // slot (62+1)%64 = 63
+	if got := c.Choose(); got != es[1] {
+		t.Fatalf("Choose = %v, want the pre-wrap entry", got.Payload)
+	}
+	c.Remove(es[1])
+	if got := c.Choose(); got != es[0] {
+		t.Fatalf("Choose after remove = %v", got.Payload)
+	}
+	c.Remove(es[0])
+	if !c.Empty() {
+		t.Fatal("not empty")
+	}
+	if c.Choose() != nil || c.Last() != nil {
+		t.Fatal("empty calendar returned entry")
+	}
+}
+
+func TestCalendarHigherRuntimeSchedulesLater(t *testing.T) {
+	// A thread with larger batch priority (more accumulated runtime) must be
+	// chosen after one with a smaller priority inserted at the same time.
+	var c Calendar
+	light := &Entry{Payload: "light"}
+	heavy := &Entry{Payload: "heavy"}
+	c.Add(heavy, 40)
+	c.Add(light, 4)
+	if got := c.Choose(); got != light {
+		t.Fatalf("Choose = %v, want light", got.Payload)
+	}
+	if got := c.Last(); got != heavy {
+		t.Fatalf("Last = %v, want heavy", got.Payload)
+	}
+}
+
+// Property: every entry added to a calendar is eventually chosen exactly
+// once when repeatedly choosing+removing (no starvation or loss in the data
+// structure itself).
+func TestQuickCalendarDrainsAll(t *testing.T) {
+	f := func(pris []uint8, advances uint8) bool {
+		var c Calendar
+		for i := 0; i < int(advances%NQS); i++ {
+			c.Advance()
+		}
+		want := map[*Entry]bool{}
+		for _, p := range pris {
+			e := &Entry{}
+			c.Add(e, int(p)%NQS)
+			want[e] = true
+		}
+		for !c.Empty() {
+			e := c.Choose()
+			if e == nil || !want[e] {
+				return false
+			}
+			delete(want, e)
+			c.Remove(e)
+		}
+		return len(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalendarEach(t *testing.T) {
+	var c Calendar
+	es := entries(3)
+	for i, e := range es {
+		c.Add(e, i*10)
+	}
+	var n int
+	c.Each(func(*Entry) bool { n++; return true })
+	if n != 3 {
+		t.Fatalf("Each visited %d", n)
+	}
+	n = 0
+	c.Each(func(*Entry) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Each early stop visited %d", n)
+	}
+}
+
+func TestOnQueue(t *testing.T) {
+	var q Queue
+	e := &Entry{}
+	if e.OnQueue() {
+		t.Fatal("fresh entry claims queued")
+	}
+	q.Add(e, 1)
+	if !e.OnQueue() {
+		t.Fatal("queued entry claims unqueued")
+	}
+	q.Remove(e)
+	if e.OnQueue() {
+		t.Fatal("removed entry claims queued")
+	}
+}
+
+func TestFfsFls(t *testing.T) {
+	if ffs(0b1000) != 3 || fls(0b1000) != 3 {
+		t.Fatal("single bit")
+	}
+	if ffs(0b1010) != 1 || fls(0b1010) != 3 {
+		t.Fatal("two bits")
+	}
+	if ffs(1<<63) != 63 || fls(1<<63|1) != 63 {
+		t.Fatal("high bit")
+	}
+}

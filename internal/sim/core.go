@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Core models one CPU. The engine owns dispatch; schedulers own runqueues.
+type Core struct {
+	// ID is the dense core index matching the topology.
+	ID int
+
+	mach *Machine
+
+	// Curr is the running thread, nil when idle.
+	Curr *Thread
+	// NeedResched requests a reschedule at the next safe point; scheduler
+	// Tick handlers set it on timeslice expiry.
+	NeedResched bool
+
+	// runStart is when the current accounting segment began (burst start,
+	// or the last flush point).
+	runStart time.Duration
+	// burstToken invalidates in-flight burst-end events.
+	burstToken uint64
+
+	// lastThread is the thread that last occupied the core, to price
+	// context switches.
+	lastThread *Thread
+
+	// dispatching guards against re-entrant dispatch while IdleBalance
+	// pulls work.
+	dispatching bool
+	// inBoundary is set while a program's Next() runs on this core;
+	// preemption of the mid-transition thread is deferred.
+	inBoundary bool
+
+	// BusyTime is cumulative thread execution time.
+	BusyTime time.Duration
+	// SchedTime is cumulative time charged to scheduler work (context
+	// switches, placement scans).
+	SchedTime time.Duration
+	// ScanTime is the subset of SchedTime spent in placement scans — the
+	// §6.3 "time spent in the scheduler" metric the paper reports.
+	ScanTime time.Duration
+	// IdleTime is cumulative idle time.
+	IdleTime  time.Duration
+	idleSince time.Duration
+	wasIdle   bool
+}
+
+// Machine returns the owning machine.
+func (c *Core) Machine() *Machine { return c.mach }
+
+// Idle reports whether the core has no running thread.
+func (c *Core) Idle() bool { return c.Curr == nil }
+
+// flushRun folds the elapsed segment of the running thread into its
+// accounting; schedulers always observe fresh RunTime.
+func (c *Core) flushRun() {
+	t := c.Curr
+	if t == nil {
+		return
+	}
+	now := c.mach.now
+	if now <= c.runStart {
+		return
+	}
+	delta := now - c.runStart
+	c.runStart = now
+	t.RunTime += delta
+	c.BusyTime += delta
+	if t.opValid && (t.op.Kind == OpRun || t.op.Kind == OpSpin) {
+		t.opRemaining -= delta
+		if t.opRemaining < 0 {
+			t.opRemaining = 0
+		}
+	}
+}
+
+// chargeSched consumes d of core time as scheduler work. If a thread is
+// running, its burst is pushed out by d (kernel work delays user work —
+// the mechanism behind ULE's sysbench wakeup-scan overhead, §6.3).
+func (c *Core) chargeSched(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.SchedTime += d
+	if c.Curr != nil {
+		c.flushRun()
+		// Keep any not-yet-started delay (switch cost, earlier charges).
+		base := c.runStart
+		if base < c.mach.now {
+			base = c.mach.now
+		}
+		c.runStart = base + d
+		if c.Curr.opValid && (c.Curr.op.Kind == OpRun || c.Curr.op.Kind == OpSpin) {
+			c.mach.scheduleBurstEnd(c)
+		}
+	}
+}
+
+func (c *Core) markIdle() {
+	if !c.wasIdle {
+		c.wasIdle = true
+		c.idleSince = c.mach.now
+	}
+}
+
+func (c *Core) markBusy() {
+	if c.wasIdle {
+		c.wasIdle = false
+		c.IdleTime += c.mach.now - c.idleSince
+	}
+}
+
+// Utilization returns busy/(busy+sched+idle) over the simulated run.
+func (c *Core) Utilization() float64 {
+	total := c.BusyTime + c.SchedTime + c.IdleTime
+	if c.wasIdle {
+		total += c.mach.now - c.idleSince
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(c.BusyTime) / float64(total)
+}
+
+// SchedFraction returns the fraction of non-idle cycles spent in scheduler
+// work, the §6.3 metric.
+func (c *Core) SchedFraction() float64 {
+	den := c.BusyTime + c.SchedTime
+	if den == 0 {
+		return 0
+	}
+	return float64(c.SchedTime) / float64(den)
+}
+
+// String renders the core state.
+func (c *Core) String() string {
+	if c.Curr == nil {
+		return fmt.Sprintf("core%d[idle]", c.ID)
+	}
+	return fmt.Sprintf("core%d[%s]", c.ID, c.Curr.Name)
+}

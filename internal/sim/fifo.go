@@ -1,0 +1,163 @@
+package sim
+
+import "time"
+
+// FIFO is a deliberately simple reference scheduler: per-core FIFO
+// runqueues, a fixed round-robin timeslice, least-loaded placement and
+// single-thread idle stealing. It exists to (a) document the Scheduler
+// contract with a minimal implementation, (b) give engine tests a
+// scheduler with no policy surprises, and (c) serve as a neutral baseline
+// in ablation benchmarks.
+type FIFO struct {
+	// Slice is the round-robin quantum (default 10 ms).
+	Slice time.Duration
+
+	m   *Machine
+	rqs []fifoRQ
+}
+
+type fifoRQ struct {
+	queue []*Thread
+	// load counts runnable threads including the running one.
+	load int
+	// sliceLeft tracks the current thread's remaining quantum.
+	sliceLeft time.Duration
+}
+
+// NewFIFO returns a FIFO scheduler with the default quantum.
+func NewFIFO() *FIFO { return &FIFO{Slice: 10 * time.Millisecond} }
+
+// Name implements Scheduler.
+func (f *FIFO) Name() string { return "fifo" }
+
+// Attach implements Scheduler.
+func (f *FIFO) Attach(m *Machine) {
+	f.m = m
+	f.rqs = make([]fifoRQ, len(m.Cores))
+	if f.Slice <= 0 {
+		f.Slice = 10 * time.Millisecond
+	}
+}
+
+// TickPeriod implements Scheduler.
+func (f *FIFO) TickPeriod() time.Duration { return time.Millisecond }
+
+// Enqueue implements Scheduler.
+func (f *FIFO) Enqueue(c *Core, t *Thread, flags int) {
+	rq := &f.rqs[c.ID]
+	rq.queue = append(rq.queue, t)
+	rq.load++
+}
+
+// Dequeue implements Scheduler.
+func (f *FIFO) Dequeue(c *Core, t *Thread, flags int) {
+	rq := &f.rqs[c.ID]
+	rq.load--
+	if c.Curr == t {
+		return // running threads are not in the queue
+	}
+	for i, q := range rq.queue {
+		if q == t {
+			rq.queue = append(rq.queue[:i], rq.queue[i+1:]...)
+			return
+		}
+	}
+	panic("fifo: dequeue of unknown thread")
+}
+
+// Yield implements Scheduler.
+func (f *FIFO) Yield(c *Core, t *Thread) {}
+
+// PickNext implements Scheduler.
+func (f *FIFO) PickNext(c *Core) *Thread {
+	rq := &f.rqs[c.ID]
+	if len(rq.queue) == 0 {
+		return nil
+	}
+	t := rq.queue[0]
+	rq.queue = rq.queue[1:]
+	rq.sliceLeft = f.Slice
+	return t
+}
+
+// PutPrev implements Scheduler.
+func (f *FIFO) PutPrev(c *Core, t *Thread, flags int) {
+	rq := &f.rqs[c.ID]
+	if flags&FlagPreempted != 0 {
+		rq.queue = append([]*Thread{t}, rq.queue...)
+		return
+	}
+	rq.queue = append(rq.queue, t)
+}
+
+// SelectCore implements Scheduler: least-loaded allowed core.
+func (f *FIFO) SelectCore(t *Thread, origin *Core, flags int) *Core {
+	var best *Core
+	bestLoad := int(^uint(0) >> 1)
+	for i, c := range f.m.Cores {
+		if !t.CanRunOn(c.ID) {
+			continue
+		}
+		if f.rqs[i].load < bestLoad {
+			best, bestLoad = c, f.rqs[i].load
+		}
+	}
+	return best
+}
+
+// CheckPreempt implements Scheduler: never preempt.
+func (f *FIFO) CheckPreempt(c *Core, t *Thread, flags int) bool { return false }
+
+// Tick implements Scheduler.
+func (f *FIFO) Tick(c *Core, curr *Thread) {
+	if curr == nil {
+		// Idle cores retry stealing each tick; a successful Migrate
+		// dispatches the core as a side effect of the enqueue.
+		f.IdleBalance(c)
+		return
+	}
+	rq := &f.rqs[c.ID]
+	rq.sliceLeft -= f.TickPeriod()
+	if rq.sliceLeft <= 0 && len(rq.queue) > 0 {
+		c.NeedResched = true
+	}
+}
+
+// Fork implements Scheduler.
+func (f *FIFO) Fork(parent, child *Thread) {}
+
+// Exit implements Scheduler.
+func (f *FIFO) Exit(t *Thread) {}
+
+// IdleBalance implements Scheduler: steal one queued thread from the most
+// loaded core.
+func (f *FIFO) IdleBalance(c *Core) bool {
+	var victim *Core
+	most := 1 // need at least one queued beyond the running thread
+	for i, o := range f.m.Cores {
+		if o == c {
+			continue
+		}
+		if len(f.rqs[i].queue) > most-1 && f.rqs[i].load > most {
+			victim, most = o, f.rqs[i].load
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	// Steal the oldest queued thread allowed on c.
+	rq := &f.rqs[victim.ID]
+	for _, t := range rq.queue {
+		if t.CanRunOn(c.ID) {
+			f.m.TraceSteal(c, victim, t)
+			f.m.Migrate(t, victim, c)
+			return true
+		}
+	}
+	return false
+}
+
+// NrRunnable implements Scheduler.
+func (f *FIFO) NrRunnable(c *Core) int { return f.rqs[c.ID].load }
+
+var _ Scheduler = (*FIFO)(nil)

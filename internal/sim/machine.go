@@ -1,0 +1,743 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Machine is the simulated multicore computer: cores, threads, the event
+// clock, and one scheduler. All methods must be called from the simulation
+// goroutine (the engine is deliberately single-threaded and deterministic).
+type Machine struct {
+	// Topo is the hardware layout.
+	Topo *topo.Topology
+	// Cores are the CPUs, indexed by ID.
+	Cores []*Core
+	// Trace records scheduler events.
+	Trace *trace.Buffer
+	// Counters collects named counts from schedulers and workloads.
+	Counters *stats.CounterSet
+	// Cost prices context switches, migrations, and scheduler work.
+	Cost CostModel
+
+	sched Scheduler
+	rng   *Rand
+
+	now  time.Duration
+	heap eventHeap
+	seq  uint64
+
+	threads []*Thread
+	nextTID int
+	live    int
+
+	// execCore is the core whose program code is currently executing (for
+	// charging wakeup costs to the waker's CPU); nil in timer context.
+	execCore *Core
+	// pendingPin carries StartThreadCfg affinity into spawn.
+	pendingPin []int
+
+	ticksOn bool
+}
+
+// Options configures machine construction.
+type Options struct {
+	// Seed seeds the deterministic PRNG (default 1).
+	Seed int64
+	// Cost overrides the default cost model; nil uses DefaultCostModel.
+	Cost *CostModel
+	// TraceCapacity bounds retained trace records (counts are always
+	// exact); default 0 retains counts only.
+	TraceCapacity int
+}
+
+// NewMachine builds a machine with the given topology and scheduler and
+// attaches the scheduler. Per-core scheduler ticks start immediately.
+func NewMachine(tp *topo.Topology, sched Scheduler, opts Options) *Machine {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	cost := DefaultCostModel()
+	if opts.Cost != nil {
+		cost = *opts.Cost
+	}
+	m := &Machine{
+		Topo:     tp,
+		Trace:    trace.New(opts.TraceCapacity),
+		Counters: stats.NewCounterSet(),
+		Cost:     cost,
+		sched:    sched,
+		rng:      newRand(opts.Seed),
+		nextTID:  1,
+	}
+	m.Cores = make([]*Core, tp.NCores())
+	for i := range m.Cores {
+		m.Cores[i] = &Core{ID: i, mach: m, wasIdle: true}
+	}
+	sched.Attach(m)
+	m.startTicks()
+	return m
+}
+
+// Scheduler returns the attached scheduler.
+func (m *Machine) Scheduler() Scheduler { return m.sched }
+
+// Now returns the simulated time since machine start.
+func (m *Machine) Now() time.Duration { return m.now }
+
+// Rand returns the machine's deterministic PRNG.
+func (m *Machine) Rand() *Rand { return m.rng }
+
+// Threads returns all threads ever created, in creation order. The slice
+// must not be modified.
+func (m *Machine) Threads() []*Thread { return m.threads }
+
+// LiveThreads returns the number of non-dead threads.
+func (m *Machine) LiveThreads() int { return m.live }
+
+// ExecCore returns the core currently executing program code, nil in timer
+// context. Schedulers use it to bill placement work to the waking CPU.
+func (m *Machine) ExecCore() *Core { return m.execCore }
+
+// At schedules fn at absolute simulated time at (clamped to now).
+func (m *Machine) At(at time.Duration, fn func()) {
+	if at < m.now {
+		at = m.now
+	}
+	m.seq++
+	m.heap.push(event{at: at, seq: m.seq, fn: fn})
+}
+
+// After schedules fn d from now.
+func (m *Machine) After(d time.Duration, fn func()) { m.At(m.now+d, fn) }
+
+// Every schedules fn at start and then every period while fn returns true.
+func (m *Machine) Every(start, period time.Duration, fn func() bool) {
+	if period <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	var rearm func()
+	rearm = func() {
+		if fn() {
+			m.After(period, rearm)
+		}
+	}
+	m.At(start, rearm)
+}
+
+// Run processes events until the clock reaches until.
+func (m *Machine) Run(until time.Duration) {
+	for m.heap.len() > 0 {
+		if m.heap.es[0].at > until {
+			break
+		}
+		e := m.heap.pop()
+		m.now = e.at
+		e.fn()
+	}
+	if m.now < until {
+		m.now = until
+	}
+	for _, c := range m.Cores {
+		c.flushRun()
+	}
+}
+
+// RunUntil processes events until pred returns true or the clock reaches
+// max; it reports whether pred was satisfied.
+func (m *Machine) RunUntil(pred func() bool, max time.Duration) bool {
+	for m.heap.len() > 0 {
+		if pred() {
+			return true
+		}
+		if m.heap.es[0].at > max {
+			break
+		}
+		e := m.heap.pop()
+		m.now = e.at
+		e.fn()
+	}
+	done := pred()
+	if m.now < max && !done {
+		m.now = max
+	}
+	for _, c := range m.Cores {
+		c.flushRun()
+	}
+	return done
+}
+
+// StartThread creates and enqueues a root thread (no parent): the analogue
+// of launching a process from a shell.
+func (m *Machine) StartThread(name, group string, nice int, prog Program) *Thread {
+	return m.spawn(name, group, nice, prog, nil)
+}
+
+// ThreadConfig describes a root thread to start with full control, notably
+// birth affinity (the Figure 6 experiment pins 512 threads to core 0
+// before they first run).
+type ThreadConfig struct {
+	Name  string
+	Group string
+	Nice  int
+	// Pinned restricts placement from birth; nil allows any core.
+	Pinned []int
+	Prog   Program
+	// OnExit runs when the thread dies.
+	OnExit func(*Thread)
+}
+
+// StartThreadCfg creates and enqueues a root thread from cfg.
+func (m *Machine) StartThreadCfg(cfg ThreadConfig) *Thread {
+	m.pendingPin = cfg.Pinned
+	t := m.spawn(cfg.Name, cfg.Group, cfg.Nice, cfg.Prog, nil)
+	m.pendingPin = nil
+	t.OnExit = cfg.OnExit
+	return t
+}
+
+func (m *Machine) spawn(name, group string, nice int, prog Program, parent *Thread) *Thread {
+	t := &Thread{
+		ID:     m.nextTID,
+		Name:   name,
+		Group:  group,
+		Nice:   nice,
+		Parent: parent,
+		mach:   m,
+		prog:   prog,
+		state:  StateNew,
+		ExitWQ: NewWaitQueue(name + ".exit"),
+	}
+	if parent != nil {
+		t.Pinned = append([]int(nil), parent.Pinned...)
+	} else if m.pendingPin != nil {
+		t.Pinned = append([]int(nil), m.pendingPin...)
+	}
+	m.nextTID++
+	m.threads = append(m.threads, t)
+	m.live++
+	m.sched.Fork(parent, t)
+	origin := m.execCore
+	c := m.sched.SelectCore(t, origin, FlagFork)
+	m.assertAllowed(c, t)
+	m.Trace.Record(trace.Event{At: m.now, Kind: trace.Fork, Core: c.ID, OtherCore: -1, Thread: t.ID})
+	m.enqueueRunnable(c, t, FlagFork)
+	return t
+}
+
+// Wake makes t runnable if it is sleeping or blocked; otherwise no-op.
+func (m *Machine) Wake(t *Thread) {
+	if t.state != StateSleeping && t.state != StateBlocked {
+		return
+	}
+	t.sleepToken++ // cancel any pending timer wake
+	if t.wq != nil {
+		t.wq.removeWaiter(t)
+	}
+	t.SleepTime += m.now - t.sleepStart
+	t.opValid = false // the sleep/block op is complete
+	origin := m.execCore
+	target := m.sched.SelectCore(t, origin, FlagWakeup)
+	m.assertAllowed(target, t)
+	if m.Cost.WakeupFixedCost > 0 {
+		payer := origin
+		if payer == nil {
+			payer = target
+		}
+		payer.chargeSched(m.Cost.WakeupFixedCost)
+	}
+	if t.LastCore != nil && t.LastCore != target && !m.Topo.ShareLLC(t.LastCore.ID, target.ID) {
+		t.pendingPenalty += m.Cost.MigrationPenalty
+	}
+	m.Trace.Record(trace.Event{At: m.now, Kind: trace.Wakeup, Core: target.ID, OtherCore: coreID(origin), Thread: t.ID})
+	m.enqueueRunnable(target, t, FlagWakeup)
+}
+
+// Signal wakes up to n threads blocked on wq, FIFO order.
+func (m *Machine) Signal(wq *WaitQueue, n int) {
+	for i := 0; i < n; i++ {
+		t := wq.popWaiter()
+		if t == nil {
+			return
+		}
+		m.Wake(t)
+	}
+}
+
+// Broadcast wakes all threads blocked on wq and releases every spinner
+// watching it.
+func (m *Machine) Broadcast(wq *WaitQueue) {
+	for {
+		t := wq.popWaiter()
+		if t == nil {
+			break
+		}
+		m.Wake(t)
+	}
+	// Release spinners: running ones complete their spin now; preempted
+	// ones complete when next dispatched.
+	spinners := append([]*Thread(nil), wq.spinners...)
+	for _, t := range spinners {
+		t.spinDone = true
+		if t.state == StateRunning {
+			c := t.core
+			c.flushRun()
+			t.opRemaining = 0
+			m.completeOpNow(c, t)
+		}
+	}
+}
+
+// Migrate moves a runnable (not running) thread between cores; balancers
+// and stealers call it. The scheduler's Dequeue/Enqueue maintain their own
+// structures.
+func (m *Machine) Migrate(t *Thread, from, to *Core) {
+	if t.state != StateRunnable {
+		panic(fmt.Sprintf("sim: Migrate of %v in state %v", t, t.state))
+	}
+	if from.Curr == t {
+		panic("sim: Migrate of running thread")
+	}
+	if t.core != from {
+		panic("sim: Migrate from wrong core")
+	}
+	if !t.CanRunOn(to.ID) {
+		panic("sim: Migrate violates affinity")
+	}
+	m.sched.Dequeue(from, t, FlagMigrate)
+	t.core = nil
+	t.state = StateSleeping // transient; enqueueRunnable restores
+	if t.LastCore != nil && !m.Topo.ShareLLC(t.LastCore.ID, to.ID) {
+		t.pendingPenalty += m.Cost.MigrationPenalty
+	}
+	m.Trace.Record(trace.Event{At: m.now, Kind: trace.Migrate, Core: from.ID, OtherCore: to.ID, Thread: t.ID})
+	m.enqueueRunnable(to, t, FlagMigrate)
+}
+
+// SetPinned changes a thread's affinity (taskset). Unpinning takes effect
+// through normal balancing, as in the paper's Figure 6 experiment.
+func (m *Machine) SetPinned(t *Thread, cores []int) {
+	t.Pinned = cores
+}
+
+// RunnableCounts samples NrRunnable for every core — the y-axis of the
+// paper's Figures 6 and 7.
+func (m *Machine) RunnableCounts() []int {
+	out := make([]int, len(m.Cores))
+	for i, c := range m.Cores {
+		out[i] = m.sched.NrRunnable(c)
+	}
+	return out
+}
+
+// ChargeSched bills d of scheduler work to core c (or the exec core when c
+// is nil), consuming simulated CPU time.
+func (m *Machine) ChargeSched(c *Core, d time.Duration) {
+	if c == nil {
+		c = m.execCore
+	}
+	if c == nil {
+		return
+	}
+	c.chargeSched(d)
+}
+
+// ChargeScan bills placement-scan work: like ChargeSched but also counted
+// in the core's ScanTime (the paper's §6.3 scheduler-time metric).
+func (m *Machine) ChargeScan(c *Core, d time.Duration) {
+	if c == nil {
+		c = m.execCore
+	}
+	if c == nil {
+		return
+	}
+	c.chargeSched(d)
+	c.ScanTime += d
+}
+
+// TraceBalance records a balancer invocation for core c.
+func (m *Machine) TraceBalance(c *Core) {
+	m.Trace.Record(trace.Event{At: m.now, Kind: trace.Balance, Core: c.ID, OtherCore: -1})
+}
+
+// TraceSteal records an idle steal by c from victim.
+func (m *Machine) TraceSteal(c, victim *Core, t *Thread) {
+	m.Trace.Record(trace.Event{At: m.now, Kind: trace.Steal, Core: c.ID, OtherCore: victim.ID, Thread: t.ID})
+}
+
+func coreID(c *Core) int {
+	if c == nil {
+		return -1
+	}
+	return c.ID
+}
+
+func (m *Machine) assertAllowed(c *Core, t *Thread) {
+	if c == nil {
+		panic(fmt.Sprintf("sim: SelectCore returned nil for %v", t))
+	}
+	if !t.CanRunOn(c.ID) {
+		panic(fmt.Sprintf("sim: SelectCore placed %v on disallowed core %d", t, c.ID))
+	}
+}
+
+// enqueueRunnable hands t to the scheduler on c and kicks dispatch or
+// preemption as needed.
+func (m *Machine) enqueueRunnable(c *Core, t *Thread, flags int) {
+	t.state = StateRunnable
+	t.core = c
+	t.LastEnqueuedAt = m.now
+	m.sched.Enqueue(c, t, flags)
+	if c.Curr == nil {
+		if !c.dispatching {
+			m.dispatch(c)
+		}
+		return
+	}
+	if c.Curr != t && m.sched.CheckPreempt(c, t, flags) {
+		if c.inBoundary {
+			c.NeedResched = true
+			return
+		}
+		m.deschedule(c, FlagPreempted)
+		m.dispatch(c)
+	}
+}
+
+// dispatch fills an empty core with the scheduler's pick.
+func (m *Machine) dispatch(c *Core) {
+	if c.Curr != nil {
+		panic("sim: dispatch on busy core")
+	}
+	c.dispatching = true
+	defer func() { c.dispatching = false }()
+	triedIdle := false
+	for {
+		t := m.sched.PickNext(c)
+		if t == nil {
+			if !triedIdle {
+				triedIdle = true
+				if m.sched.IdleBalance(c) {
+					continue
+				}
+			}
+			if c.lastThread != nil {
+				m.Trace.Record(trace.Event{At: m.now, Kind: trace.Switch, Core: c.ID, OtherCore: -1, Thread: 0, Other: c.lastThread.ID})
+				c.lastThread = nil
+			}
+			c.markIdle()
+			return
+		}
+		if t.state != StateRunnable || t.core != c {
+			panic(fmt.Sprintf("sim: PickNext returned %v (state %v, core %v) on core %d", t, t.state, coreID(t.core), c.ID))
+		}
+		m.start(c, t)
+		return
+	}
+}
+
+// start puts t on c and arms its burst.
+func (m *Machine) start(c *Core, t *Thread) {
+	c.markBusy()
+	t.state = StateRunning
+	c.Curr = t
+	c.NeedResched = false
+	c.runStart = m.now
+	if m.Cost.PickFixedCost > 0 {
+		c.SchedTime += m.Cost.PickFixedCost
+		c.runStart += m.Cost.PickFixedCost
+	}
+	if c.lastThread != t {
+		m.Trace.Record(trace.Event{At: m.now, Kind: trace.Switch, Core: c.ID, OtherCore: -1, Thread: t.ID, Other: threadID(c.lastThread)})
+		if m.Cost.SwitchCost > 0 {
+			c.SchedTime += m.Cost.SwitchCost
+			c.runStart += m.Cost.SwitchCost
+		}
+	}
+	c.lastThread = t
+
+	if t.opValid {
+		switch t.op.Kind {
+		case OpRun, OpSpin:
+			if t.op.Kind == OpSpin && t.spinDone {
+				// Condition fired while we waited on the runqueue.
+				m.completeOpNow(c, t)
+				return
+			}
+			if t.op.Kind == OpRun && t.pendingPenalty > 0 {
+				t.opRemaining += t.pendingPenalty
+				t.pendingPenalty = 0
+			}
+			m.scheduleBurstEnd(c)
+			m.afterBoundary(c)
+			return
+		default:
+			panic(fmt.Sprintf("sim: thread %v dispatched with pending %v op", t, t.op.Kind))
+		}
+	}
+	m.advance(c, t)
+}
+
+// scheduleBurstEnd arms the burst-end event for c's current thread.
+func (m *Machine) scheduleBurstEnd(c *Core) {
+	t := c.Curr
+	c.burstToken++
+	token := c.burstToken
+	at := c.runStart + t.opRemaining
+	if at < m.now {
+		at = m.now
+	}
+	m.At(at, func() {
+		if c.burstToken != token || c.Curr != t {
+			return
+		}
+		c.flushRun()
+		if t.opRemaining > 0 {
+			// A charge pushed the burst out; re-arm.
+			m.scheduleBurstEnd(c)
+			return
+		}
+		m.completeOpNow(c, t)
+	})
+}
+
+// completeOpNow finishes t's current op on c and advances the program.
+func (m *Machine) completeOpNow(c *Core, t *Thread) {
+	if t.op.Kind == OpSpin {
+		if t.spinWQ != nil {
+			t.spinWQ.removeSpinner(t)
+		}
+		t.spinDone = false
+	}
+	t.opValid = false
+	m.advance(c, t)
+}
+
+// advance asks t's program for ops until one consumes time or changes
+// state. It runs with t current on c.
+func (m *Machine) advance(c *Core, t *Thread) {
+	ctx := &Ctx{T: t, M: m}
+	for {
+		c.inBoundary = true
+		prevExec := m.execCore
+		m.execCore = c
+		op := t.prog.Next(ctx)
+		m.execCore = prevExec
+		c.inBoundary = false
+
+		if t.state != StateRunning || c.Curr != t {
+			panic(fmt.Sprintf("sim: %v changed state during Next()", t))
+		}
+		t.op = op
+		t.opValid = true
+		t.spinDone = false
+
+		switch op.Kind {
+		case OpRun:
+			d := op.Dur + t.pendingPenalty
+			t.pendingPenalty = 0
+			if d <= 0 {
+				t.opValid = false
+				if m.guardZeroOps(t) {
+					continue
+				}
+				return
+			}
+			t.zeroOps = 0
+			t.opRemaining = d
+			m.scheduleBurstEnd(c)
+			m.afterBoundary(c)
+			return
+		case OpSpin:
+			if op.WQ == nil {
+				panic("sim: Spin with nil wait queue")
+			}
+			if op.Dur <= 0 {
+				t.opValid = false
+				if m.guardZeroOps(t) {
+					continue
+				}
+				return
+			}
+			t.zeroOps = 0
+			t.opRemaining = op.Dur
+			op.WQ.addSpinner(t)
+			m.scheduleBurstEnd(c)
+			m.afterBoundary(c)
+			return
+		case OpSleep:
+			d := op.Dur
+			if d <= 0 {
+				d = time.Nanosecond
+			}
+			t.zeroOps = 0
+			m.sleepCurrent(c, t, d)
+			return
+		case OpBlock:
+			if op.WQ == nil {
+				panic("sim: Block with nil wait queue")
+			}
+			t.zeroOps = 0
+			m.blockCurrent(c, t, op.WQ)
+			return
+		case OpYield:
+			t.zeroOps = 0
+			t.opValid = false
+			m.sched.Yield(c, t)
+			m.deschedule(c, 0)
+			m.dispatch(c)
+			return
+		case OpExit:
+			m.exitCurrent(c, t)
+			return
+		default:
+			panic(fmt.Sprintf("sim: unknown op kind %v", op.Kind))
+		}
+	}
+}
+
+// guardZeroOps counts consecutive zero-time ops; returns true to continue
+// the advance loop, panicking if the program cannot make progress.
+func (m *Machine) guardZeroOps(t *Thread) bool {
+	t.zeroOps++
+	if t.zeroOps > 100000 {
+		panic(fmt.Sprintf("sim: thread %v stuck issuing zero-time ops", t))
+	}
+	return true
+}
+
+// afterBoundary handles a preemption requested while the thread was inside
+// Next() (a wakeup it performed preempts it).
+func (m *Machine) afterBoundary(c *Core) {
+	if c.NeedResched && c.Curr != nil {
+		c.NeedResched = false
+		m.deschedule(c, FlagPreempted)
+		m.dispatch(c)
+	}
+}
+
+// deschedule removes the (still runnable) current thread from c, returning
+// it to the scheduler's queues. flags: FlagPreempted for involuntary
+// wakeup-driven preemption (tail vs head queue placement, cache penalty).
+func (m *Machine) deschedule(c *Core, flags int) {
+	t := c.Curr
+	if t == nil {
+		return
+	}
+	c.flushRun()
+	c.burstToken++ // invalidate burst-end
+	if flags&FlagPreempted != 0 {
+		m.Trace.Record(trace.Event{At: m.now, Kind: trace.Preempt, Core: c.ID, OtherCore: -1, Thread: t.ID})
+		t.pendingPenalty += m.Cost.PreemptPenalty
+	}
+	t.state = StateRunnable
+	t.LastCore = c
+	t.LastRanAt = m.now
+	c.Curr = nil
+	m.sched.PutPrev(c, t, flags)
+}
+
+// sleepCurrent puts the running thread into a timed voluntary sleep.
+func (m *Machine) sleepCurrent(c *Core, t *Thread, d time.Duration) {
+	m.stopCurrent(c, t, FlagSleep)
+	t.state = StateSleeping
+	t.sleepStart = m.now
+	t.sleepToken++
+	token := t.sleepToken
+	m.After(d, func() {
+		if t.sleepToken == token && t.state == StateSleeping {
+			m.Wake(t)
+		}
+	})
+	if c.Curr == nil {
+		m.dispatch(c)
+	}
+}
+
+// blockCurrent puts the running thread to sleep on wq.
+func (m *Machine) blockCurrent(c *Core, t *Thread, wq *WaitQueue) {
+	m.stopCurrent(c, t, FlagSleep)
+	t.state = StateBlocked
+	t.sleepStart = m.now
+	wq.addWaiter(t)
+	if c.Curr == nil {
+		m.dispatch(c)
+	}
+}
+
+// exitCurrent terminates the running thread.
+func (m *Machine) exitCurrent(c *Core, t *Thread) {
+	m.stopCurrent(c, t, FlagExit)
+	t.state = StateDead
+	t.opValid = false
+	m.live--
+	m.sched.Exit(t)
+	m.Trace.Record(trace.Event{At: m.now, Kind: trace.Exit, Core: c.ID, OtherCore: -1, Thread: t.ID})
+	m.Broadcast(t.ExitWQ)
+	if t.OnExit != nil {
+		t.OnExit(t)
+	}
+	// The exit broadcast may already have refilled the core (a joiner was
+	// placed here and dispatched); only dispatch if still empty.
+	if c.Curr == nil {
+		m.dispatch(c)
+	}
+}
+
+// stopCurrent is the common leave-the-CPU path for sleep/block/exit.
+func (m *Machine) stopCurrent(c *Core, t *Thread, flags int) {
+	c.flushRun()
+	c.burstToken++
+	t.LastCore = c
+	t.LastRanAt = m.now
+	// Dequeue while c.Curr still points at t, so the scheduler can tell a
+	// running thread (accounting only) from a queued one (unlink).
+	m.sched.Dequeue(c, t, flags)
+	c.Curr = nil
+	t.core = nil
+	// The sleep/block op is consumed; the program resumes with a fresh op
+	// on wakeup. Exit consumes trivially.
+	t.opValid = false
+}
+
+// startTicks arms the per-core periodic scheduler tick, staggered so cores
+// do not tick in lockstep.
+func (m *Machine) startTicks() {
+	if m.ticksOn {
+		return
+	}
+	m.ticksOn = true
+	period := m.sched.TickPeriod()
+	if period <= 0 {
+		panic("sim: scheduler TickPeriod must be positive")
+	}
+	for i := range m.Cores {
+		c := m.Cores[i]
+		offset := period * time.Duration(i) / time.Duration(len(m.Cores))
+		var tick func()
+		tick = func() {
+			c.flushRun()
+			m.sched.Tick(c, c.Curr)
+			if c.NeedResched {
+				c.NeedResched = false
+				if c.Curr != nil {
+					m.deschedule(c, 0)
+					m.dispatch(c)
+				}
+			}
+			m.After(period, tick)
+		}
+		m.At(offset+period, tick)
+	}
+}
+
+func threadID(t *Thread) int {
+	if t == nil {
+		return 0
+	}
+	return t.ID
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// State is a thread's lifecycle state.
+type State uint8
+
+const (
+	// StateNew: created but never enqueued.
+	StateNew State = iota
+	// StateRunnable: waiting in a runqueue.
+	StateRunnable
+	// StateRunning: executing on a core.
+	StateRunning
+	// StateSleeping: in a timed voluntary sleep.
+	StateSleeping
+	// StateBlocked: voluntarily waiting on a WaitQueue.
+	StateBlocked
+	// StateDead: exited.
+	StateDead
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateRunnable:
+		return "runnable"
+	case StateRunning:
+		return "running"
+	case StateSleeping:
+		return "sleeping"
+	case StateBlocked:
+		return "blocked"
+	case StateDead:
+		return "dead"
+	default:
+		return "state(?)"
+	}
+}
+
+// Thread is one schedulable entity. Fields the schedulers read are
+// exported; mutation is reserved to the engine.
+type Thread struct {
+	// ID is a unique positive identifier.
+	ID int
+	// Name identifies the thread for traces and figures ("fibo",
+	// "sysbench-worker-17").
+	Name string
+	// Group names the application the thread belongs to; CFS's cgroup
+	// fairness groups threads by this key, and per-application metrics
+	// aggregate over it.
+	Group string
+	// Nice is the Unix niceness, -20..19 (high value = low priority).
+	Nice int
+	// Parent is the forking thread (nil for initial threads).
+	Parent *Thread
+
+	mach  *Machine
+	prog  Program
+	state State
+
+	// core is the core whose runnable set contains the thread (while
+	// Runnable or Running).
+	core *Core
+	// LastCore is the last core the thread ran on (nil before first run).
+	LastCore *Core
+	// LastRanAt is the simulated time the thread last gave up a core.
+	LastRanAt time.Duration
+	// LastEnqueuedAt is when the thread last became runnable.
+	LastEnqueuedAt time.Duration
+
+	// RunTime is cumulative CPU time consumed.
+	RunTime time.Duration
+	// SleepTime is cumulative *voluntary* sleep (OpSleep/OpBlock); time
+	// spent waiting on a runqueue counts as neither run nor sleep, exactly
+	// as ULE's interactivity metric requires (§2.2).
+	SleepTime time.Duration
+
+	// SchedData is the owning scheduler's per-thread state (CFS entity or
+	// ULE td_sched).
+	SchedData any
+
+	// Pinned restricts the thread to the given core IDs; nil means any
+	// core. Models taskset/pthread affinity (the Figure 6 pin/unpin).
+	Pinned []int
+
+	// OnExit, if set, runs when the thread dies (application bookkeeping).
+	OnExit func(*Thread)
+
+	// ExitWQ is broadcast when the thread exits, supporting joins.
+	ExitWQ *WaitQueue
+
+	// current op execution state
+	op          Op
+	opValid     bool
+	opRemaining time.Duration
+	spinDone    bool
+	// pendingPenalty is extra time the next Run burst costs (cold cache
+	// after migration or preemption).
+	pendingPenalty time.Duration
+
+	sleepStart time.Duration
+	sleepToken uint64
+	wq         *WaitQueue // wait queue we are blocked on, if any
+
+	// spinWQ is the queue this thread's active Spin op watches.
+	spinWQ *WaitQueue
+
+	zeroOps int // consecutive zero-time ops, to catch stuck programs
+}
+
+// State returns the thread's lifecycle state.
+func (t *Thread) State() State { return t.state }
+
+// Core returns the core owning the thread (runqueue or running), nil when
+// sleeping/dead.
+func (t *Thread) Core() *Core { return t.core }
+
+// Machine returns the machine the thread lives on.
+func (t *Thread) Machine() *Machine { return t.mach }
+
+// Running reports whether the thread is currently on a CPU.
+func (t *Thread) Running() bool { return t.state == StateRunning }
+
+// CanRunOn reports whether affinity allows the thread on core id.
+func (t *Thread) CanRunOn(id int) bool {
+	if t.Pinned == nil {
+		return true
+	}
+	for _, c := range t.Pinned {
+		if c == id {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders a compact thread description.
+func (t *Thread) String() string {
+	return fmt.Sprintf("T%d(%s/%s %v)", t.ID, t.Name, t.Group, t.state)
+}
+
+// Ctx is the restricted kernel interface a Program sees during Next.
+type Ctx struct {
+	// T is the calling thread.
+	T *Thread
+	// M is the machine; programs should prefer the Ctx helpers but may use
+	// M for read-only inspection.
+	M *Machine
+}
+
+// Now returns the current simulated time.
+func (c *Ctx) Now() time.Duration { return c.M.Now() }
+
+// Wake makes target runnable if it is sleeping or blocked; otherwise it is
+// a no-op (matching try_to_wake_up semantics on a running task).
+func (c *Ctx) Wake(target *Thread) { c.M.Wake(target) }
+
+// Signal wakes up to n threads blocked on wq (FIFO order).
+func (c *Ctx) Signal(wq *WaitQueue, n int) { c.M.Signal(wq, n) }
+
+// Broadcast wakes all threads blocked on wq and releases all spinners
+// watching it.
+func (c *Ctx) Broadcast(wq *WaitQueue) { c.M.Broadcast(wq) }
+
+// Fork creates a child thread of the caller running prog. The child
+// inherits scheduler state per the active scheduler's fork rule (for ULE:
+// the parent's interactivity history — the mechanism behind the paper's
+// Figures 3/4).
+func (c *Ctx) Fork(name, group string, nice int, prog Program) *Thread {
+	return c.M.spawn(name, group, nice, prog, c.T)
+}
+
+// Rand returns a deterministic per-machine PRNG.
+func (c *Ctx) Rand() *Rand { return c.M.Rand() }

@@ -1,0 +1,64 @@
+package sim
+
+// WaitQueue is a FIFO queue of voluntarily blocked threads, plus the set of
+// spinners currently watching it. It is the one blocking primitive the
+// kernel substrate exposes; the ipc package builds mutexes, barriers, pipes
+// and request queues on top of it.
+type WaitQueue struct {
+	// Name labels the queue in traces.
+	Name string
+
+	waiters []*Thread
+	// spinners are threads with an active OpSpin watching this queue; a
+	// Broadcast releases them early.
+	spinners []*Thread
+}
+
+// NewWaitQueue returns an empty named wait queue.
+func NewWaitQueue(name string) *WaitQueue { return &WaitQueue{Name: name} }
+
+// Len returns the number of blocked threads (spinners excluded).
+func (wq *WaitQueue) Len() int { return len(wq.waiters) }
+
+// Spinners returns the number of threads spin-watching the queue.
+func (wq *WaitQueue) Spinners() int { return len(wq.spinners) }
+
+func (wq *WaitQueue) addWaiter(t *Thread) {
+	wq.waiters = append(wq.waiters, t)
+	t.wq = wq
+}
+
+func (wq *WaitQueue) removeWaiter(t *Thread) {
+	for i, w := range wq.waiters {
+		if w == t {
+			wq.waiters = append(wq.waiters[:i], wq.waiters[i+1:]...)
+			t.wq = nil
+			return
+		}
+	}
+}
+
+func (wq *WaitQueue) popWaiter() *Thread {
+	if len(wq.waiters) == 0 {
+		return nil
+	}
+	t := wq.waiters[0]
+	wq.waiters = wq.waiters[1:]
+	t.wq = nil
+	return t
+}
+
+func (wq *WaitQueue) addSpinner(t *Thread) {
+	wq.spinners = append(wq.spinners, t)
+	t.spinWQ = wq
+}
+
+func (wq *WaitQueue) removeSpinner(t *Thread) {
+	for i, w := range wq.spinners {
+		if w == t {
+			wq.spinners = append(wq.spinners[:i], wq.spinners[i+1:]...)
+			t.spinWQ = nil
+			return
+		}
+	}
+}

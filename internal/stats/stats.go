@@ -1,0 +1,321 @@
+// Package stats provides the measurement primitives the experiment harness
+// records into: time series (for the paper's runtime/penalty/heatmap
+// figures), latency histograms (Table 2), and counters (preemptions,
+// migrations, scheduler cycles).
+//
+// Everything here is plain single-threaded data — the simulator is
+// sequential, so no locking is needed or wanted.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one sample of a time series: a simulated timestamp and a value.
+type Point struct {
+	T time.Duration // simulated time since machine start
+	V float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Last returns the final sample, or a zero Point if empty.
+func (s *Series) Last() Point {
+	if len(s.Points) == 0 {
+		return Point{}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// At returns the value at-or-before time t (step interpolation), or 0 before
+// the first sample.
+func (s *Series) At(t time.Duration) float64 {
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T > t })
+	if i == 0 {
+		return 0
+	}
+	return s.Points[i-1].V
+}
+
+// Max returns the maximum value, or 0 if empty.
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, p := range s.Points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Min returns the minimum value, or 0 if empty.
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, p := range s.Points {
+		if p.V < m {
+			m = p.V
+		}
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}
+
+// Gnuplot renders "time value" rows with time in seconds, the format the
+// paper's figures plot.
+func (s *Series) Gnuplot() string {
+	var b strings.Builder
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%.3f %.6g\n", p.T.Seconds(), p.V)
+	}
+	return b.String()
+}
+
+// FirstCrossing returns the earliest sample time with V >= v, and whether
+// one exists. Used for "time until balanced / all-runnable" readings on
+// Figures 6 and 7.
+func (s *Series) FirstCrossing(v float64) (time.Duration, bool) {
+	for _, p := range s.Points {
+		if p.V >= v {
+			return p.T, true
+		}
+	}
+	return 0, false
+}
+
+// SeriesSet is a named collection of series, e.g. one per thread or core.
+type SeriesSet struct {
+	byName map[string]*Series
+	order  []string
+}
+
+// NewSeriesSet returns an empty set.
+func NewSeriesSet() *SeriesSet {
+	return &SeriesSet{byName: make(map[string]*Series)}
+}
+
+// Get returns the series with the given name, creating it if needed.
+func (ss *SeriesSet) Get(name string) *Series {
+	s, ok := ss.byName[name]
+	if !ok {
+		s = &Series{Name: name}
+		ss.byName[name] = s
+		ss.order = append(ss.order, name)
+	}
+	return s
+}
+
+// Names returns series names in creation order.
+func (ss *SeriesSet) Names() []string { return ss.order }
+
+// Each calls fn for every series in creation order.
+func (ss *SeriesSet) Each(fn func(*Series)) {
+	for _, n := range ss.order {
+		fn(ss.byName[n])
+	}
+}
+
+// Histogram is a logarithmic-bucket latency histogram covering 1µs..~100s
+// with ~4% relative precision; enough for the paper's ms-scale latencies.
+type Histogram struct {
+	buckets [bucketCount]uint64
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+const (
+	// 16 buckets per octave over 27 octaves starting at 1µs.
+	bucketsPerOctave = 16
+	octaves          = 27
+	bucketCount      = bucketsPerOctave * octaves
+	histBase         = time.Microsecond
+)
+
+func bucketOf(d time.Duration) int {
+	if d < histBase {
+		return 0
+	}
+	l := math.Log2(float64(d) / float64(histBase))
+	i := int(l * bucketsPerOctave)
+	if i >= bucketCount {
+		i = bucketCount - 1
+	}
+	return i
+}
+
+func bucketLow(i int) time.Duration {
+	return time.Duration(float64(histBase) * math.Pow(2, float64(i)/bucketsPerOctave))
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the mean latency, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest observed sample.
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest observed sample.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns the latency at quantile q in [0,1], using the lower edge
+// of the containing bucket.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum > target {
+			return bucketLow(i)
+		}
+	}
+	return h.max
+}
+
+// String summarises the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.max)
+}
+
+// Counter is a named monotonically increasing count.
+type Counter struct {
+	Name string
+	N    uint64
+}
+
+// Inc adds delta to the counter.
+func (c *Counter) Inc(delta uint64) { c.N += delta }
+
+// CounterSet is a keyed collection of counters.
+type CounterSet struct {
+	byName map[string]*Counter
+	order  []string
+}
+
+// NewCounterSet returns an empty set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{byName: make(map[string]*Counter)}
+}
+
+// Get returns the named counter, creating it if needed.
+func (cs *CounterSet) Get(name string) *Counter {
+	c, ok := cs.byName[name]
+	if !ok {
+		c = &Counter{Name: name}
+		cs.byName[name] = c
+		cs.order = append(cs.order, name)
+	}
+	return c
+}
+
+// Value returns the current value of name (0 if never created).
+func (cs *CounterSet) Value(name string) uint64 {
+	if c, ok := cs.byName[name]; ok {
+		return c.N
+	}
+	return 0
+}
+
+// Names returns counter names in creation order.
+func (cs *CounterSet) Names() []string { return cs.order }
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// MaxMinSpread returns max(xs) - min(xs); 0 for empty input. Figures 6/7 use
+// it as the imbalance measure across per-core thread counts.
+func MaxMinSpread(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return hi - lo
+}

@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	if s.Len() != 0 || s.Last() != (Point{}) {
+		t.Fatal("empty series not empty")
+	}
+	s.Add(1*time.Second, 10)
+	s.Add(2*time.Second, 20)
+	s.Add(3*time.Second, 5)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Last(); got.V != 5 {
+		t.Fatalf("Last = %+v", got)
+	}
+	if got := s.Max(); got != 20 {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := s.Min(); got != 5 {
+		t.Fatalf("Min = %v", got)
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	var s Series
+	s.Add(1*time.Second, 1)
+	s.Add(3*time.Second, 3)
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 0},
+		{999 * time.Millisecond, 0},
+		{1 * time.Second, 1},
+		{2 * time.Second, 1},
+		{3 * time.Second, 3},
+		{10 * time.Second, 3},
+	}
+	for _, c := range cases {
+		if got := s.At(c.at); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestSeriesFirstCrossing(t *testing.T) {
+	var s Series
+	s.Add(1*time.Second, 1)
+	s.Add(2*time.Second, 5)
+	s.Add(3*time.Second, 9)
+	if at, ok := s.FirstCrossing(5); !ok || at != 2*time.Second {
+		t.Fatalf("FirstCrossing(5) = %v, %v", at, ok)
+	}
+	if _, ok := s.FirstCrossing(100); ok {
+		t.Fatal("FirstCrossing(100) should not exist")
+	}
+}
+
+func TestSeriesGnuplot(t *testing.T) {
+	var s Series
+	s.Add(1500*time.Millisecond, 2)
+	out := s.Gnuplot()
+	if !strings.HasPrefix(out, "1.500 2") {
+		t.Fatalf("Gnuplot output %q", out)
+	}
+}
+
+func TestSeriesSet(t *testing.T) {
+	ss := NewSeriesSet()
+	a := ss.Get("a")
+	b := ss.Get("b")
+	if ss.Get("a") != a {
+		t.Fatal("Get not idempotent")
+	}
+	a.Add(0, 1)
+	b.Add(0, 2)
+	names := ss.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	var seen []string
+	ss.Each(func(s *Series) { seen = append(seen, s.Name) })
+	if len(seen) != 2 || seen[0] != "a" {
+		t.Fatalf("Each order = %v", seen)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should read zero")
+	}
+	for i := 0; i < 1000; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 10*time.Millisecond {
+		t.Fatalf("Mean = %v", got)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 9*time.Millisecond || p50 > 11*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~10ms", p50)
+	}
+	if h.Min() != 10*time.Millisecond || h.Max() != 10*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	prev := time.Duration(0)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile %v = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+	// ~4% relative bucket precision: p50 should be near 50ms.
+	p50 := h.Quantile(0.5)
+	if p50 < 45*time.Millisecond || p50 > 55*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~50ms", p50)
+	}
+}
+
+func TestHistogramNegativeAndHuge(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	h.Observe(1000 * time.Hour)
+	if h.Count() != 2 {
+		t.Fatal("samples lost")
+	}
+	if h.Quantile(1) <= 0 {
+		t.Fatal("max bucket collapsed")
+	}
+}
+
+func TestHistogramQuantileWithinBounds(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var h Histogram
+		for _, r := range raw {
+			h.Observe(time.Duration(r%10_000_000) * time.Microsecond)
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		q := h.Quantile(0.5)
+		// Bucketed quantile must lie within [min lowered a bucket, max].
+		return q <= h.Max() && float64(q) >= float64(h.Min())*0.9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterSet(t *testing.T) {
+	cs := NewCounterSet()
+	cs.Get("x").Inc(3)
+	cs.Get("x").Inc(2)
+	if got := cs.Value("x"); got != 5 {
+		t.Fatalf("Value(x) = %d", got)
+	}
+	if got := cs.Value("missing"); got != 0 {
+		t.Fatalf("Value(missing) = %d", got)
+	}
+	if n := cs.Names(); len(n) != 1 || n[0] != "x" {
+		t.Fatalf("Names = %v", n)
+	}
+}
+
+func TestMeanStddevSpread(t *testing.T) {
+	if Mean(nil) != 0 || Stddev(nil) != 0 || MaxMinSpread(nil) != 0 {
+		t.Fatal("empty inputs should read zero")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Stddev(xs); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("Stddev = %v, want 2", got)
+	}
+	if got := MaxMinSpread(xs); got != 7 {
+		t.Fatalf("Spread = %v", got)
+	}
+}

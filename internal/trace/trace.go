@@ -1,0 +1,148 @@
+// Package trace records scheduler-level events — context switches, wakeups,
+// migrations, preemptions — into a bounded in-memory buffer. The paper's
+// analysis sections count exactly these events (e.g. "ab is preempted 2
+// million times", §5.3); tests and the overhead experiment read them back.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	// Switch: a core switched from one thread to another (either may be idle).
+	Switch Kind = iota
+	// Wakeup: a sleeping/blocked thread became runnable.
+	Wakeup
+	// Migrate: a runnable thread moved between cores (balancer or steal).
+	Migrate
+	// Preempt: the running thread was involuntarily descheduled while runnable.
+	Preempt
+	// Fork: a thread was created.
+	Fork
+	// Exit: a thread terminated.
+	Exit
+	// Balance: a load-balancer invocation ran.
+	Balance
+	// Steal: an idle core pulled work.
+	Steal
+
+	numKinds
+)
+
+// String returns the event kind name.
+func (k Kind) String() string {
+	switch k {
+	case Switch:
+		return "switch"
+	case Wakeup:
+		return "wakeup"
+	case Migrate:
+		return "migrate"
+	case Preempt:
+		return "preempt"
+	case Fork:
+		return "fork"
+	case Exit:
+		return "exit"
+	case Balance:
+		return "balance"
+	case Steal:
+		return "steal"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one trace record. Thread and Other are thread IDs (0 = none /
+// idle); Core and OtherCore are core IDs (-1 = none).
+type Event struct {
+	At        time.Duration
+	Kind      Kind
+	Core      int
+	OtherCore int
+	Thread    int
+	Other     int
+}
+
+// String renders the event for debugging output.
+func (e Event) String() string {
+	return fmt.Sprintf("%12v %-8s core=%d->%d thr=%d other=%d",
+		e.At, e.Kind, e.Core, e.OtherCore, e.Thread, e.Other)
+}
+
+// Buffer collects events up to a capacity, then keeps only counts. Counting
+// never stops, so the §6.3-style statistics stay exact even when the ring is
+// full.
+type Buffer struct {
+	cap    int
+	events []Event
+	counts [numKinds]uint64
+	// perThread counts preemptions per thread, needed for the apache
+	// analysis; only grows for threads that are actually preempted.
+	preemptPerThread map[int]uint64
+}
+
+// New returns a buffer retaining at most capacity full event records.
+// capacity <= 0 keeps counts only.
+func New(capacity int) *Buffer {
+	return &Buffer{cap: capacity, preemptPerThread: make(map[int]uint64)}
+}
+
+// Record adds an event.
+func (b *Buffer) Record(e Event) {
+	if int(e.Kind) < len(b.counts) {
+		b.counts[e.Kind]++
+	}
+	if e.Kind == Preempt {
+		b.preemptPerThread[e.Thread]++
+	}
+	if len(b.events) < b.cap {
+		b.events = append(b.events, e)
+	}
+}
+
+// Count returns how many events of kind k were recorded (including dropped
+// ones).
+func (b *Buffer) Count(k Kind) uint64 {
+	if int(k) >= len(b.counts) {
+		return 0
+	}
+	return b.counts[k]
+}
+
+// PreemptionsOf returns how many times thread id was preempted.
+func (b *Buffer) PreemptionsOf(id int) uint64 { return b.preemptPerThread[id] }
+
+// Events returns the retained event records (oldest first). The returned
+// slice must not be modified.
+func (b *Buffer) Events() []Event { return b.events }
+
+// Len returns the number of retained records.
+func (b *Buffer) Len() int { return len(b.events) }
+
+// Filter returns retained events matching kind k.
+func (b *Buffer) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range b.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Summary renders per-kind counts, one per line, in kind order.
+func (b *Buffer) Summary() string {
+	var sb strings.Builder
+	for k := Kind(0); k < numKinds; k++ {
+		if b.counts[k] > 0 {
+			fmt.Fprintf(&sb, "%-8s %d\n", k, b.counts[k])
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecordAndCount(t *testing.T) {
+	b := New(10)
+	b.Record(Event{At: time.Second, Kind: Switch, Core: 0, Thread: 1})
+	b.Record(Event{At: 2 * time.Second, Kind: Switch, Core: 0, Thread: 2})
+	b.Record(Event{At: 3 * time.Second, Kind: Wakeup, Core: 1, Thread: 3})
+	if got := b.Count(Switch); got != 2 {
+		t.Fatalf("Count(Switch) = %d", got)
+	}
+	if got := b.Count(Wakeup); got != 1 {
+		t.Fatalf("Count(Wakeup) = %d", got)
+	}
+	if got := b.Count(Migrate); got != 0 {
+		t.Fatalf("Count(Migrate) = %d", got)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestCapacityDropsRecordsKeepsCounts(t *testing.T) {
+	b := New(2)
+	for i := 0; i < 5; i++ {
+		b.Record(Event{Kind: Migrate, Thread: i})
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+	if got := b.Count(Migrate); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	if b.Events()[0].Thread != 0 || b.Events()[1].Thread != 1 {
+		t.Fatal("retained events are not the oldest")
+	}
+}
+
+func TestCountsOnlyBuffer(t *testing.T) {
+	b := New(0)
+	b.Record(Event{Kind: Fork})
+	if b.Len() != 0 {
+		t.Fatal("zero-capacity buffer retained a record")
+	}
+	if b.Count(Fork) != 1 {
+		t.Fatal("count lost")
+	}
+}
+
+func TestPreemptionsPerThread(t *testing.T) {
+	b := New(0)
+	for i := 0; i < 7; i++ {
+		b.Record(Event{Kind: Preempt, Thread: 42})
+	}
+	b.Record(Event{Kind: Preempt, Thread: 7})
+	if got := b.PreemptionsOf(42); got != 7 {
+		t.Fatalf("PreemptionsOf(42) = %d", got)
+	}
+	if got := b.PreemptionsOf(7); got != 1 {
+		t.Fatalf("PreemptionsOf(7) = %d", got)
+	}
+	if got := b.PreemptionsOf(999); got != 0 {
+		t.Fatalf("PreemptionsOf(999) = %d", got)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	b := New(10)
+	b.Record(Event{Kind: Switch, Thread: 1})
+	b.Record(Event{Kind: Steal, Thread: 2})
+	b.Record(Event{Kind: Switch, Thread: 3})
+	got := b.Filter(Switch)
+	if len(got) != 2 || got[0].Thread != 1 || got[1].Thread != 3 {
+		t.Fatalf("Filter = %v", got)
+	}
+}
+
+func TestSummaryAndStrings(t *testing.T) {
+	b := New(1)
+	b.Record(Event{Kind: Balance})
+	b.Record(Event{Kind: Balance})
+	s := b.Summary()
+	if !strings.Contains(s, "balance  2") {
+		t.Fatalf("Summary = %q", s)
+	}
+	e := Event{At: time.Second, Kind: Migrate, Core: 1, OtherCore: 2, Thread: 3, Other: 4}
+	if !strings.Contains(e.String(), "migrate") {
+		t.Fatalf("Event.String = %q", e.String())
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Fatal("unknown kind string")
+	}
+	if b.Count(Kind(200)) != 0 {
+		t.Fatal("unknown kind count")
+	}
+}

@@ -1,0 +1,123 @@
+package ule
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// SelectCore implements sim.Scheduler (sched_pickcpu): affinity fast paths,
+// then widening priority-filtered scans, then global lowest load — "at
+// worst, may scan all cores of the machine three times" (§6.3), each
+// examined core billed to the waking CPU via the cost model.
+func (s *Sched) SelectCore(t *sim.Thread, origin *sim.Core, flags int) *sim.Core {
+	d := s.td(t)
+	prev := t.LastCore
+
+	if s.P.WakeupPrevCPUOnly && flags&sim.FlagWakeup != 0 {
+		// §6.3 ablation: "we replaced the ULE wakeup function by a simple
+		// one that returns the CPU on which the thread was previously
+		// running".
+		if prev != nil && t.CanRunOn(prev.ID) {
+			return prev
+		}
+	}
+
+	if len(s.m.Cores) == 1 {
+		return s.m.Cores[0]
+	}
+
+	// Fast path: previous core idle, or cache-affine and the thread would
+	// be the highest priority there.
+	if prev != nil && t.CanRunOn(prev.ID) {
+		if s.tdqs[prev.ID].load == 0 {
+			return prev
+		}
+		if s.affine(t, prev.ID, topo.LevelLLC) && d.pri < s.lowestPri(prev.ID) {
+			return prev
+		}
+	}
+
+	// Widening searches. Start from the highest level still considered
+	// affine (or the previous core's LLC), looking for a core where this
+	// thread would have the best priority, preferring the least loaded.
+	start := prev
+	if start == nil {
+		start = origin
+	}
+	if start == nil {
+		start = s.m.Cores[0]
+	}
+
+	payer := origin
+	if payer == nil {
+		// Timer wakeups run in interrupt context on the core the timer
+		// fires on; bill the scan there.
+		payer = start
+	}
+	if c := s.searchGroup(t, d, s.m.Topo.Group(start.ID, topo.LevelLLC), payer, true); c != nil {
+		return c
+	}
+	if c := s.searchGroup(t, d, s.m.Topo.Group(start.ID, topo.LevelMachine), payer, true); c != nil {
+		return c
+	}
+	if c := s.searchGroup(t, d, s.m.Topo.Group(start.ID, topo.LevelMachine), payer, false); c != nil {
+		return c
+	}
+	// Affinity fallback.
+	for id := range s.m.Cores {
+		if t.CanRunOn(id) {
+			return s.m.Cores[id]
+		}
+	}
+	panic("ule: thread pinned to no cores")
+}
+
+// searchGroup scans ids for the least-loaded core; with priFilter it only
+// accepts cores whose minimum priority is worse than the thread's
+// ("sched_lowest with a priority bound"). payer is billed for the scan.
+func (s *Sched) searchGroup(t *sim.Thread, d *tsd, ids []int, payer *sim.Core, priFilter bool) *sim.Core {
+	best := -1
+	bestLoad := 0
+	scanned := 0
+	for _, id := range ids {
+		scanned++
+		if !t.CanRunOn(id) {
+			continue
+		}
+		if priFilter && s.lowestPri(id) <= d.pri {
+			continue
+		}
+		load := s.tdqs[id].load
+		if best < 0 || load < bestLoad {
+			best, bestLoad = id, load
+		}
+	}
+	s.chargeScan(payer, scanned)
+	if best < 0 {
+		return nil
+	}
+	return s.m.Cores[best]
+}
+
+// affine reports whether the thread ran on core id recently enough to still
+// be cache affine at the given topology level (SCHED_AFFINITY: the window
+// doubles per level).
+func (s *Sched) affine(t *sim.Thread, id int, level topo.Level) bool {
+	if t.LastCore == nil || t.LastCore.ID != id {
+		return false
+	}
+	window := s.P.AffinityBase << uint(level)
+	return s.m.Now()-t.LastRanAt < window
+}
+
+// chargeScan bills a placement scan to the paying core (the §6.3 "13% of
+// all CPU cycles spent scanning cores").
+func (s *Sched) chargeScan(payer *sim.Core, cores int) {
+	if s.m.Cost.PerCoreScanCost <= 0 || cores == 0 {
+		return
+	}
+	s.m.ChargeScan(payer, time.Duration(cores)*s.m.Cost.PerCoreScanCost)
+	s.m.Counters.Get("ule.scan_cores").Inc(uint64(cores))
+}
