@@ -1,14 +1,15 @@
 // Command schedbattle reproduces the paper's evaluation artifacts: it runs
 // any registered experiment (figures 1-9, table 2, the §6.3 overhead
 // analysis, and the ablations) and prints the same rows/series the paper
-// reports.
+// reports. Experiment trial grids execute on a worker pool (-jobs wide);
+// output is byte-identical whatever the pool width.
 //
 // Usage:
 //
 //	schedbattle -list
-//	schedbattle -run table2
+//	schedbattle -run table2 -jobs 8
 //	schedbattle -run fig6 -scale 0.25 -series /tmp/fig6
-//	schedbattle -all -scale 0.2
+//	schedbattle -all -scale 0.2 -jobs 16 -seed 7
 package main
 
 import (
@@ -16,8 +17,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -27,6 +31,8 @@ func main() {
 		all       = flag.Bool("all", false, "run every experiment")
 		scale     = flag.Float64("scale", 1.0, "duration scale in (0,1]: 1.0 = paper-sized")
 		seriesDir = flag.String("series", "", "directory to write gnuplot series files into")
+		jobs      = flag.Int("jobs", runtime.GOMAXPROCS(0), "trial-grid worker pool width")
+		seed      = flag.Int64("seed", 0, "base-seed perturbation for every trial (0 = the paper-tuned seeds)")
 	)
 	flag.Parse()
 
@@ -34,8 +40,12 @@ func main() {
 		for _, e := range core.Experiments() {
 			fmt.Printf("%-18s %s\n", e.ID, e.Title)
 		}
+		fmt.Printf("\nschedulers: %v\n", core.SchedulerKinds())
 		return
 	}
+
+	runner.SetWorkers(*jobs)
+	core.SetBaseSeed(*seed)
 
 	var ids []string
 	switch {
@@ -51,30 +61,55 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Run every requested experiment even if one fails; report a combined
+	// non-zero exit at the end so a sweep surfaces all failures at once.
+	var failed []string
 	for _, id := range ids {
-		e, err := core.ByID(id)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "schedbattle:", err)
-			os.Exit(1)
+		if err := runExperiment(id, *scale, *seriesDir); err != nil {
+			fmt.Fprintf(os.Stderr, "schedbattle: %s: %v\n", id, err)
+			failed = append(failed, id)
 		}
-		res := e.Run(*scale)
-		fmt.Println(res)
-		if *seriesDir != "" {
-			if err := writeSeries(*seriesDir, res); err != nil {
-				fmt.Fprintln(os.Stderr, "schedbattle:", err)
-				os.Exit(1)
-			}
-		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "schedbattle: %d of %d experiments failed: %v\n", len(failed), len(ids), failed)
+		os.Exit(1)
 	}
 }
 
+// runExperiment executes one experiment, converting a driver panic into an
+// error so one failing artifact doesn't abort the rest of a sweep.
+func runExperiment(id string, scale float64, seriesDir string) (err error) {
+	e, err := core.ByID(id)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiment panicked: %v", r)
+		}
+	}()
+	res := e.Run(scale)
+	fmt.Println(res)
+	if seriesDir != "" {
+		return writeSeries(seriesDir, res)
+	}
+	return nil
+}
+
 // writeSeries dumps every series of a result as "<dir>/<id>-<set>-<name>.dat"
-// in gnuplot "time value" format.
+// in gnuplot "time value" format, iterating sets in sorted order so runs are
+// reproducible file-for-file.
 func writeSeries(dir string, res *core.Result) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	for setName, set := range res.Series {
+	setNames := make([]string, 0, len(res.Series))
+	for name := range res.Series {
+		setNames = append(setNames, name)
+	}
+	sort.Strings(setNames)
+	for _, setName := range setNames {
+		set := res.Series[setName]
 		for _, name := range set.Names() {
 			s := set.Get(name)
 			path := filepath.Join(dir, fmt.Sprintf("%s-%s-%s.dat", res.ID, setName, name))

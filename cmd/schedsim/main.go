@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		sched    = flag.String("sched", "cfs", "scheduler: cfs, ule, or fifo")
+		sched    = flag.String("sched", "cfs", "scheduler kind: cfs, ule, fifo, or any registered variant (ule-prevcpu, cfs-nocgroups, ...)")
 		cores    = flag.Int("cores", 32, "core count (1, 8, 32 map to paper topologies)")
 		appsFlag = flag.String("apps", "", "comma-separated application names (see -listapps)")
 		runFor   = flag.Duration("for", 20*time.Second, "simulated duration after warmup")

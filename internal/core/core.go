@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/apps"
 	"repro/internal/cfs"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -22,11 +23,19 @@ import (
 // SchedulerKind selects a scheduling class.
 type SchedulerKind string
 
-// Scheduler kinds.
+// Built-in scheduler kinds. The set is open: Register adds new classes or
+// ablation variants at runtime, and anything registered is accepted
+// everywhere a SchedulerKind is.
 const (
 	CFS  SchedulerKind = "cfs"
 	ULE  SchedulerKind = "ule"
 	FIFO SchedulerKind = "fifo"
+
+	// Ablation variants of the built-ins (see registry.go).
+	ULEPrevCPU     SchedulerKind = "ule-prevcpu"
+	ULEFullPreempt SchedulerKind = "ule-fullpreempt"
+	ULEStockBug    SchedulerKind = "ule-stockbug"
+	CFSNoCgroups   SchedulerKind = "cfs-nocgroups"
 )
 
 // MachineConfig assembles a simulated machine for an experiment.
@@ -63,35 +72,27 @@ func (mc MachineConfig) Topology() *topo.Topology {
 	}
 }
 
-// NewMachine builds the machine and scheduler.
+// NewMachine builds the machine and scheduler. The scheduler is resolved
+// through the registry, so any kind installed with Register — built-in,
+// ablation variant, or external class — works here. It panics on unknown
+// kinds; use NewScheduler to get an error instead.
 func NewMachine(mc MachineConfig) *sim.Machine {
-	var sched sim.Scheduler
-	switch mc.Kind {
-	case CFS:
-		p := cfs.DefaultParams()
-		if mc.CFSParams != nil {
-			p = *mc.CFSParams
-		}
-		sched = cfs.New(p)
-	case ULE:
-		p := ule.DefaultParams()
-		if mc.ULEParams != nil {
-			p = *mc.ULEParams
-		}
-		sched = ule.New(p)
-	case FIFO:
-		sched = sim.NewFIFO()
-	default:
-		panic(fmt.Sprintf("core: unknown scheduler kind %q", mc.Kind))
+	sched, err := NewScheduler(mc)
+	if err != nil {
+		panic(err)
 	}
 	if mc.Seed == 0 {
 		mc.Seed = 42
 	}
-	return sim.NewMachine(mc.Topology(), sched, sim.Options{
+	m := sim.NewMachine(mc.Topology(), sched, sim.Options{
 		Seed:          mc.Seed,
 		Cost:          mc.Cost,
 		TraceCapacity: mc.TraceCapacity,
 	})
+	if mc.KernelNoise {
+		apps.StartKernelNoise(m, 15*time.Millisecond, 300*time.Microsecond)
+	}
+	return m
 }
 
 // Row is one output row of an experiment (a table line or a bar).
@@ -116,6 +117,41 @@ type Result struct {
 // AddNote appends a free-form observation.
 func (r *Result) AddNote(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// AddSeries installs a named series set, allocating the map on first use.
+func (r *Result) AddSeries(name string, set *stats.SeriesSet) {
+	if r.Series == nil {
+		r.Series = map[string]*stats.SeriesSet{}
+	}
+	r.Series[name] = set
+}
+
+// Merge appends o's rows and notes and adopts its series sets. When both
+// results carry a set of the same name, o's series are folded in via
+// stats.SeriesSet.Merge, which *replaces* same-named series — so drivers
+// whose sub-results can record identically-named series (e.g. repeat
+// trials of one kind) must give the sets or series distinct names to keep
+// both recordings. Folding sub-results in stable trial order keeps merged
+// output identical however the trials were scheduled.
+func (r *Result) Merge(o *Result) {
+	if o == nil {
+		return
+	}
+	r.Rows = append(r.Rows, o.Rows...)
+	r.Notes = append(r.Notes, o.Notes...)
+	names := make([]string, 0, len(o.Series))
+	for name := range o.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if existing, ok := r.Series[name]; ok {
+			existing.Merge(o.Series[name])
+		} else {
+			r.AddSeries(name, o.Series[name])
+		}
+	}
 }
 
 // String renders the result as aligned text, the form the harness prints.
@@ -176,6 +212,3 @@ func scaleDur(d time.Duration, scale float64, floor time.Duration) time.Duration
 	}
 	return out
 }
-
-// defaultCFSParams returns a copy of the CFS defaults for ablations.
-func defaultCFSParams() cfs.Params { return cfs.DefaultParams() }

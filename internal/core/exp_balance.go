@@ -10,86 +10,157 @@ import (
 	"repro/internal/workload"
 )
 
-// runFig6 reproduces §6.1: 512 spinning threads pinned to core 0, unpinned
-// at 14.5 s, and the balancer left to even them out over 32 cores.
-func runFig6(kind SchedulerKind, scale float64, uleBug bool) (*stats.SeriesSet, *Result) {
-	mc := MachineConfig{Cores: 32, Kind: kind, Seed: 3}
-	if uleBug {
-		p := defaultULEParams()
-		p.FixBalancerBug = false
-		mc.ULEParams = &p
-	}
-	m := NewMachine(mc)
+// fig6Outcome is one balance-convergence trial's output: the per-core
+// runnable-count series (the heatmap rows) and the summary result.
+type fig6Outcome struct {
+	counts *stats.SeriesSet
+	result *Result
+}
 
+// fig6Trial declares one §6.1 run: 512 spinning threads pinned to core 0,
+// unpinned at 14.5 s, and the balancer left to even them out over 32 cores.
+// The measured window runs to the unpin point; the convergence phase lives
+// in the extractor, which keeps driving the machine until the spread closes
+// or the deadline passes.
+func fig6Trial(kind SchedulerKind, scale float64, uleBug bool) Trial[fig6Outcome] {
+	machineKind := kind
+	if uleBug {
+		machineKind = ULEStockBug
+	}
 	nThreads := int(512 * scale)
 	if nThreads < 64 {
 		nThreads = 64
 	}
-	for i := 0; i < nThreads; i++ {
-		m.StartThreadCfg(sim.ThreadConfig{
-			Name: fmt.Sprintf("spin-%d", i), Group: "spin", Pinned: []int{0},
-			Prog: &workload.Loop{Burst: 10 * time.Millisecond},
-		})
-	}
+	unpinAt := 14500 * time.Millisecond
 
 	counts := stats.NewSeriesSet()
-	spread := &stats.Series{Name: "spread"}
-	m.Every(250*time.Millisecond, 250*time.Millisecond, func() bool {
-		cs := m.RunnableCounts()
-		fs := make([]float64, len(cs))
-		for i, n := range cs {
-			counts.Get(fmt.Sprintf("core%d", i)).Add(m.Now(), float64(n))
-			fs[i] = float64(n)
-		}
-		spread.Add(m.Now(), stats.MaxMinSpread(fs))
-		return true
-	})
+	return Trial[fig6Outcome]{
+		Name:    fmt.Sprintf("fig6/%s", machineKind),
+		Machine: MachineConfig{Cores: 32, Kind: machineKind, Seed: 3},
+		Workload: func(m *sim.Machine) {
+			for i := 0; i < nThreads; i++ {
+				m.StartThreadCfg(sim.ThreadConfig{
+					Name: fmt.Sprintf("spin-%d", i), Group: "spin", Pinned: []int{0},
+					Prog: &workload.Loop{Burst: 10 * time.Millisecond},
+				})
+			}
+			m.Every(250*time.Millisecond, 250*time.Millisecond, func() bool {
+				for i, n := range m.RunnableCounts() {
+					counts.Get(fmt.Sprintf("core%d", i)).Add(m.Now(), float64(n))
+				}
+				return true
+			})
+		},
+		Window: unpinAt,
+		Extract: func(m *sim.Machine) fig6Outcome {
+			for _, t := range m.Threads() {
+				m.SetPinned(t, nil)
+			}
+			perfect := float64(nThreads / 32) // per-core count when exactly even
 
-	unpinAt := 14500 * time.Millisecond
-	m.Run(unpinAt)
-	for _, t := range m.Threads() {
-		m.SetPinned(t, nil)
-	}
-	perfect := float64(nThreads / 32) // per-core count when exactly even
+			// Run until balanced (spread <= 1) or the deadline.
+			deadline := unpinAt + scaleDur(600*time.Second, scale, 30*time.Second)
+			balancedAt := time.Duration(0)
+			m.RunUntil(func() bool {
+				cs := m.RunnableCounts()
+				fs := make([]float64, len(cs))
+				for i, n := range cs {
+					fs[i] = float64(n)
+				}
+				if stats.MaxMinSpread(fs) <= 1 {
+					balancedAt = m.Now()
+					return true
+				}
+				return false
+			}, deadline)
 
-	// Run until balanced (spread <= 1) or the deadline.
-	deadline := unpinAt + scaleDur(600*time.Second, scale, 30*time.Second)
-	balancedAt := time.Duration(0)
-	m.RunUntil(func() bool {
-		cs := m.RunnableCounts()
-		fs := make([]float64, len(cs))
-		for i, n := range cs {
-			fs[i] = float64(n)
-		}
-		if stats.MaxMinSpread(fs) <= 1 {
-			balancedAt = m.Now()
-			return true
-		}
-		return false
-	}, deadline)
+			cs := m.RunnableCounts()
+			final := make([]float64, len(cs))
+			total := 0
+			for i, n := range cs {
+				final[i] = float64(n)
+				total += n
+			}
+			r := &Result{ID: "fig6", Title: "balance convergence (" + string(kind) + ")"}
+			vals := map[string]float64{
+				"threads":        float64(total),
+				"final_spread":   stats.MaxMinSpread(final),
+				"migrations":     float64(m.Counters.Value("cfs.balance_migrations") + m.Counters.Value("ule.balance_migrations") + m.Counters.Value("ule.steals")),
+				"perfect_percpu": perfect,
+			}
+			if balancedAt > 0 {
+				vals["time_to_balance_s"] = (balancedAt - unpinAt).Seconds()
+			} else {
+				vals["time_to_balance_s"] = -1 // never within deadline
+			}
+			r.Rows = append(r.Rows, Row{Label: string(kind), Values: vals,
+				Order: []string{"threads", "time_to_balance_s", "final_spread", "migrations", "perfect_percpu"}})
+			r.AddSeries(string(machineKind), counts)
+			return fig6Outcome{counts: counts, result: r}
+		},
+	}
+}
 
-	cs := m.RunnableCounts()
-	final := make([]float64, len(cs))
-	total := 0
-	for i, n := range cs {
-		final[i] = float64(n)
-		total += n
+// runFig6 executes a single fig6 trial on the calling goroutine; the
+// experiment drivers run grids instead, this remains for focused tests.
+func runFig6(kind SchedulerKind, scale float64, uleBug bool) (*stats.SeriesSet, *Result) {
+	out := RunTrials([]Trial[fig6Outcome]{fig6Trial(kind, scale, uleBug)})
+	return out[0].counts, out[0].result
+}
+
+// fig7Trial declares one c-ray startup run: the cascading-barrier wake
+// chain, measured as time until all 512 workers are runnable. The returned
+// series set is the trial's per-core runnable-count recording; it is
+// allocated at construction so the driver can adopt it once the grid ran.
+func fig7Trial(kind SchedulerKind, scale float64) (Trial[Row], *stats.SeriesSet) {
+	var in *apps.Instance
+	counts := stats.NewSeriesSet()
+	allRunnable := time.Duration(-1)
+	launchedAt := time.Duration(0)
+	trial := Trial[Row]{
+		Name:    fmt.Sprintf("fig7/%s", kind),
+		Machine: MachineConfig{Cores: 32, Kind: kind, Seed: 4, KernelNoise: true},
+		Workload: func(m *sim.Machine) {
+			in = apps.CRay().New(m, apps.Env{Cores: 32})
+			m.Every(250*time.Millisecond, 250*time.Millisecond, func() bool {
+				for i, n := range m.RunnableCounts() {
+					counts.Get(fmt.Sprintf("core%d", i)).Add(m.Now(), float64(n))
+				}
+				return true
+			})
+		},
+		Window: apps.ShellWarmup + scaleDur(120*time.Second, scale, 20*time.Second),
+		Until: func(m *sim.Machine) bool {
+			if in.Master == nil {
+				return false
+			}
+			if launchedAt == 0 {
+				launchedAt = m.Now()
+			}
+			awake := 0
+			for _, w := range in.Workers {
+				if w.State() == sim.StateRunnable || w.State() == sim.StateRunning {
+					awake++
+				}
+			}
+			if len(in.Workers) == 512 && awake == 512 {
+				allRunnable = m.Now()
+				return true
+			}
+			return false
+		},
+		Extract: func(m *sim.Machine) Row {
+			row := Row{Label: string(kind), Order: []string{"workers", "time_to_all_runnable_s"},
+				Values: map[string]float64{"workers": float64(len(in.Workers))}}
+			if allRunnable > 0 {
+				row.Values["time_to_all_runnable_s"] = (allRunnable - launchedAt).Seconds()
+			} else {
+				row.Values["time_to_all_runnable_s"] = -1
+			}
+			return row
+		},
 	}
-	r := &Result{ID: "fig6", Title: "balance convergence (" + string(kind) + ")"}
-	vals := map[string]float64{
-		"threads":        float64(total),
-		"final_spread":   stats.MaxMinSpread(final),
-		"migrations":     float64(m.Counters.Value("cfs.balance_migrations") + m.Counters.Value("ule.balance_migrations") + m.Counters.Value("ule.steals")),
-		"perfect_percpu": perfect,
-	}
-	if balancedAt > 0 {
-		vals["time_to_balance_s"] = (balancedAt - unpinAt).Seconds()
-	} else {
-		vals["time_to_balance_s"] = -1 // never within deadline
-	}
-	r.Rows = append(r.Rows, Row{Label: string(kind), Values: vals,
-		Order: []string{"threads", "time_to_balance_s", "final_spread", "migrations", "perfect_percpu"}})
-	return counts, r
+	return trial, counts
 }
 
 func init() {
@@ -97,11 +168,14 @@ func init() {
 		ID:    "fig6",
 		Title: "Threads per core over time: 512 pinned spinners unpinned at 14.5s (ULE vs CFS)",
 		Run: func(scale float64) *Result {
-			r := &Result{ID: "fig6", Title: "balance convergence", Series: map[string]*stats.SeriesSet{}}
-			for _, kind := range []SchedulerKind{ULE, CFS} {
-				series, sub := runFig6(kind, scale, false)
-				r.Series[string(kind)] = series
-				r.Rows = append(r.Rows, sub.Rows...)
+			r := &Result{ID: "fig6", Title: "balance convergence"}
+			kinds := []SchedulerKind{ULE, CFS}
+			trials := make([]Trial[fig6Outcome], len(kinds))
+			for i, kind := range kinds {
+				trials[i] = fig6Trial(kind, scale, false)
+			}
+			for _, out := range RunTrials(trials) {
+				r.Merge(out.result)
 			}
 			r.AddNote("paper: ULE reaches a perfectly even state only after >450 balancer invocations (~minutes); CFS moves 380+ threads within 0.2s but never perfectly balances (NUMA 25%% rule)")
 			return r
@@ -112,47 +186,15 @@ func init() {
 		ID:    "fig7",
 		Title: "Threads per core over time for c-ray startup (cascading barrier)",
 		Run: func(scale float64) *Result {
-			r := &Result{ID: "fig7", Title: "c-ray wake chain", Series: map[string]*stats.SeriesSet{}}
-			for _, kind := range []SchedulerKind{ULE, CFS} {
-				m := NewMachine(MachineConfig{Cores: 32, Kind: kind, Seed: 4})
-				apps.StartKernelNoise(m, 15*time.Millisecond, 300*time.Microsecond)
-				in := apps.CRay().New(m, apps.Env{Cores: 32})
-				counts := stats.NewSeriesSet()
-				m.Every(250*time.Millisecond, 250*time.Millisecond, func() bool {
-					for i, n := range m.RunnableCounts() {
-						counts.Get(fmt.Sprintf("core%d", i)).Add(m.Now(), float64(n))
-					}
-					return true
-				})
-				allRunnable := time.Duration(-1)
-				launchedAt := time.Duration(0)
-				m.RunUntil(func() bool {
-					if in.Master == nil {
-						return false
-					}
-					if launchedAt == 0 {
-						launchedAt = m.Now()
-					}
-					awake := 0
-					for _, w := range in.Workers {
-						if w.State() == sim.StateRunnable || w.State() == sim.StateRunning {
-							awake++
-						}
-					}
-					if len(in.Workers) == 512 && awake == 512 {
-						allRunnable = m.Now()
-						return true
-					}
-					return false
-				}, apps.ShellWarmup+scaleDur(120*time.Second, scale, 20*time.Second))
-				r.Series[string(kind)] = counts
-				row := Row{Label: string(kind), Order: []string{"workers", "time_to_all_runnable_s"},
-					Values: map[string]float64{"workers": float64(len(in.Workers))}}
-				if allRunnable > 0 {
-					row.Values["time_to_all_runnable_s"] = (allRunnable - launchedAt).Seconds()
-				} else {
-					row.Values["time_to_all_runnable_s"] = -1
-				}
+			r := &Result{ID: "fig7", Title: "c-ray wake chain"}
+			kinds := []SchedulerKind{ULE, CFS}
+			trials := make([]Trial[Row], len(kinds))
+			series := make([]*stats.SeriesSet, len(kinds))
+			for i, kind := range kinds {
+				trials[i], series[i] = fig7Trial(kind, scale)
+			}
+			for i, row := range RunTrials(trials) {
+				r.AddSeries(string(kinds[i]), series[i])
 				r.Rows = append(r.Rows, row)
 			}
 			r.AddNote("paper: ULE needs >11s for all 512 threads to be runnable (batch-born threads starve in the wake chain); CFS needs ~2s; completion time is equal")

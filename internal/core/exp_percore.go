@@ -28,10 +28,11 @@ type coSchedOutcome struct {
 	fiboDuring time.Duration
 }
 
-// runCoSched executes the §5.1 workload: fibo alone for 7 s, then sysbench
+// coSchedTrial declares the §5.1 workload: fibo alone for 7 s, then sysbench
 // (80 mostly-sleeping threads) to a fixed transaction count, on one core.
-func runCoSched(kind SchedulerKind, scale float64) *coSchedOutcome {
-	m := NewMachine(MachineConfig{Cores: 1, Kind: kind, Seed: 1})
+// The measured window ends when sysbench completes; the extractor then lets
+// fibo finish its fixed work alone (Table 2's fibo column).
+func coSchedTrial(kind SchedulerKind, scale float64) Trial[*coSchedOutcome] {
 	out := &coSchedOutcome{
 		kind:      kind,
 		runtimes:  stats.NewSeriesSet(),
@@ -47,82 +48,120 @@ func runCoSched(kind SchedulerKind, scale float64) *coSchedOutcome {
 	fiboStart := apps.ShellWarmup
 	sysbenchStart := fiboStart + 7*time.Second
 
-	fibo := apps.Fibo().New(m, apps.Env{Cores: 1, StartAt: fiboStart})
-	cfg := apps.DefaultSysbench()
-	cfg.TxTarget = txTarget
-	sys := apps.Sysbench(cfg).New(m, apps.Env{Cores: 1, StartAt: sysbenchStart})
+	var (
+		fibo, sys     *apps.Instance
+		uleSched      *ule.Sched
+		fiboBeforeSys time.Duration
+	)
 
-	var uleSched *ule.Sched
-	if u, ok := m.Scheduler().(*ule.Sched); ok {
-		uleSched = u
-	}
+	return Trial[*coSchedOutcome]{
+		Name:    fmt.Sprintf("cosched/%s", kind),
+		Machine: MachineConfig{Cores: 1, Kind: kind, Seed: 1},
+		Workload: func(m *sim.Machine) {
+			fibo = apps.Fibo().New(m, apps.Env{Cores: 1, StartAt: fiboStart})
+			cfg := apps.DefaultSysbench()
+			cfg.TxTarget = txTarget
+			sys = apps.Sysbench(cfg).New(m, apps.Env{Cores: 1, StartAt: sysbenchStart})
 
-	sysRun := func() time.Duration {
-		var total time.Duration
-		for _, w := range sys.Workers {
-			total += w.RunTime
-		}
-		if sys.Master != nil {
-			total += sys.Master.RunTime
-		}
-		return total
-	}
-
-	// Periodic probe: cumulative runtimes (Figure 1) and interactivity
-	// penalties (Figure 2).
-	m.Every(250*time.Millisecond, 250*time.Millisecond, func() bool {
-		now := m.Now() - fiboStart
-		if fibo.Master != nil {
-			out.runtimes.Get("fibo").Add(now, fibo.Master.RunTime.Seconds())
-			if uleSched != nil {
-				out.penalties.Get("fibo").Add(now, float64(uleSched.Score(fibo.Master)))
+			if u, ok := m.Scheduler().(*ule.Sched); ok {
+				uleSched = u
 			}
-		}
-		out.runtimes.Get("sysbench").Add(now, sysRun().Seconds())
-		if uleSched != nil && len(sys.Workers) > 0 {
-			var sum int
-			for _, w := range sys.Workers {
-				sum += uleSched.Score(w)
+
+			sysRun := func() time.Duration {
+				var total time.Duration
+				for _, w := range sys.Workers {
+					total += w.RunTime
+				}
+				if sys.Master != nil {
+					total += sys.Master.RunTime
+				}
+				return total
 			}
-			out.penalties.Get("sysbench").Add(now, float64(sum)/float64(len(sys.Workers)))
-		}
-		return true
-	})
 
-	deadline := sysbenchStart + scaleDur(500*time.Second, scale, 60*time.Second)
-	fiboBeforeSys := time.Duration(0)
-	m.RunUntil(func() bool {
-		if m.Now() <= sysbenchStart && fibo.Master != nil {
-			fiboBeforeSys = fibo.Master.RunTime
-		}
-		return sys.Done()
-	}, deadline)
-	sysEnd := m.Now()
-	out.sysbenchT = sysEnd - sysbenchStart
-	out.txPerSec = float64(sys.Ops()) / out.sysbenchT.Seconds()
-	out.latencyAvg = sys.Latency.Mean()
-	if fibo.Master != nil {
-		out.fiboDuring = fibo.Master.RunTime - fiboBeforeSys
+			// Periodic probe: cumulative runtimes (Figure 1) and
+			// interactivity penalties (Figure 2).
+			m.Every(250*time.Millisecond, 250*time.Millisecond, func() bool {
+				now := m.Now() - fiboStart
+				if fibo.Master != nil {
+					out.runtimes.Get("fibo").Add(now, fibo.Master.RunTime.Seconds())
+					if uleSched != nil {
+						out.penalties.Get("fibo").Add(now, float64(uleSched.Score(fibo.Master)))
+					}
+				}
+				out.runtimes.Get("sysbench").Add(now, sysRun().Seconds())
+				if uleSched != nil && len(sys.Workers) > 0 {
+					var sum int
+					for _, w := range sys.Workers {
+						sum += uleSched.Score(w)
+					}
+					out.penalties.Get("sysbench").Add(now, float64(sum)/float64(len(sys.Workers)))
+				}
+				return true
+			})
+		},
+		Window: sysbenchStart + scaleDur(500*time.Second, scale, 60*time.Second),
+		Until: func(m *sim.Machine) bool {
+			if m.Now() <= sysbenchStart && fibo.Master != nil {
+				fiboBeforeSys = fibo.Master.RunTime
+			}
+			return sys.Done()
+		},
+		Extract: func(m *sim.Machine) *coSchedOutcome {
+			sysEnd := m.Now()
+			out.sysbenchT = sysEnd - sysbenchStart
+			out.txPerSec = float64(sys.Ops()) / out.sysbenchT.Seconds()
+			out.latencyAvg = sys.Latency.Mean()
+			if fibo.Master != nil {
+				out.fiboDuring = fibo.Master.RunTime - fiboBeforeSys
+			}
+
+			// Let fibo finish its fixed work alone.
+			m.RunUntil(func() bool {
+				return fibo.Master != nil && fibo.Master.RunTime >= fiboWork
+			}, sysEnd+2*fiboWork+60*time.Second)
+			out.fiboT = m.Now() - fiboStart
+			return out
+		},
 	}
+}
 
-	// Let fibo finish its fixed work alone.
-	m.RunUntil(func() bool {
-		return fibo.Master != nil && fibo.Master.RunTime >= fiboWork
-	}, sysEnd+2*fiboWork+60*time.Second)
-	out.fiboT = m.Now() - fiboStart
+// coSchedCache memoises outcomes: fig1, fig2, and table2 all read the same
+// runs. It is only touched from the driver goroutine, never from workers.
+var coSchedCache = map[string]*coSchedOutcome{}
+
+func coSchedKey(kind SchedulerKind, scale float64) string {
+	// The base seed participates so SetBaseSeed invalidates prior runs
+	// instead of returning stale outcomes.
+	return fmt.Sprintf("%s/%.3f/%d", kind, scale, BaseSeed())
+}
+
+// coSchedAll returns the outcome per requested kind, executing all uncached
+// kinds as one parallel trial grid.
+func coSchedAll(scale float64, kinds ...SchedulerKind) []*coSchedOutcome {
+	var missing []SchedulerKind
+	for _, k := range kinds {
+		if _, ok := coSchedCache[coSchedKey(k, scale)]; !ok {
+			missing = append(missing, k)
+		}
+	}
+	if len(missing) > 0 {
+		trials := make([]Trial[*coSchedOutcome], len(missing))
+		for i, k := range missing {
+			trials[i] = coSchedTrial(k, scale)
+		}
+		for i, o := range RunTrials(trials) {
+			coSchedCache[coSchedKey(missing[i], scale)] = o
+		}
+	}
+	out := make([]*coSchedOutcome, len(kinds))
+	for i, k := range kinds {
+		out[i] = coSchedCache[coSchedKey(k, scale)]
+	}
 	return out
 }
 
-var coSchedCache = map[string]*coSchedOutcome{}
-
 func coSched(kind SchedulerKind, scale float64) *coSchedOutcome {
-	key := fmt.Sprintf("%s/%.3f", kind, scale)
-	if o, ok := coSchedCache[key]; ok {
-		return o
-	}
-	o := runCoSched(kind, scale)
-	coSchedCache[key] = o
-	return o
+	return coSchedAll(scale, kind)[0]
 }
 
 func init() {
@@ -130,16 +169,15 @@ func init() {
 		ID:    "fig1",
 		Title: "Cumulative runtime of fibo and sysbench on (a) CFS and (b) ULE",
 		Run: func(scale float64) *Result {
-			r := &Result{ID: "fig1", Title: "fibo/sysbench cumulative runtime", Series: map[string]*stats.SeriesSet{}}
-			for _, kind := range []SchedulerKind{CFS, ULE} {
-				o := coSched(kind, scale)
-				r.Series[string(kind)] = o.runtimes
-				during := o.fiboDuring.Seconds()
+			r := &Result{ID: "fig1", Title: "fibo/sysbench cumulative runtime"}
+			kinds := []SchedulerKind{CFS, ULE}
+			for i, o := range coSchedAll(scale, kinds...) {
+				r.AddSeries(string(kinds[i]), o.runtimes)
 				r.Rows = append(r.Rows, Row{
-					Label: string(kind),
+					Label: string(kinds[i]),
 					Order: []string{"fibo_runtime_during_sysbench_s", "sysbench_completion_s"},
 					Values: map[string]float64{
-						"fibo_runtime_during_sysbench_s": during,
+						"fibo_runtime_during_sysbench_s": o.fiboDuring.Seconds(),
 						"sysbench_completion_s":          o.sysbenchT.Seconds(),
 					},
 				})
@@ -156,7 +194,8 @@ func init() {
 		Title: "Interactivity penalty of fibo and sysbench threads over time (ULE)",
 		Run: func(scale float64) *Result {
 			o := coSched(ULE, scale)
-			r := &Result{ID: "fig2", Title: "ULE interactivity penalties", Series: map[string]*stats.SeriesSet{"ule": o.penalties}}
+			r := &Result{ID: "fig2", Title: "ULE interactivity penalties"}
+			r.AddSeries("ule", o.penalties)
 			fiboMax := o.penalties.Get("fibo").Max()
 			sysLast := o.penalties.Get("sysbench").Last().V
 			r.Rows = append(r.Rows, Row{
@@ -176,10 +215,10 @@ func init() {
 		Title: "Execution time of fibo and sysbench; sysbench throughput and latency",
 		Run: func(scale float64) *Result {
 			r := &Result{ID: "table2", Title: "fibo/sysbench co-scheduling results"}
-			for _, kind := range []SchedulerKind{CFS, ULE} {
-				o := coSched(kind, scale)
+			kinds := []SchedulerKind{CFS, ULE}
+			for i, o := range coSchedAll(scale, kinds...) {
 				r.Rows = append(r.Rows, Row{
-					Label: string(kind),
+					Label: string(kinds[i]),
 					Order: []string{"fibo_runtime_s", "sysbench_tx_per_s", "sysbench_avg_latency_ms"},
 					Values: map[string]float64{
 						"fibo_runtime_s":          o.fiboT.Seconds(),
@@ -207,55 +246,70 @@ func init() {
 		starvedBatch  int
 		executedInter int
 	}
-	var cache = map[float64]*outcome{}
+	var cache = map[string]*outcome{}
 	run := func(scale float64) *outcome {
-		if o, ok := cache[scale]; ok {
+		key := fmt.Sprintf("%.3f/%d", scale, BaseSeed())
+		if o, ok := cache[key]; ok {
 			return o
 		}
-		m := NewMachine(MachineConfig{Cores: 1, Kind: ULE, Seed: 2})
-		u := m.Scheduler().(*ule.Sched)
-		cfg := apps.DefaultSysbench()
-		cfg.Threads = 128
-		sys := apps.Sysbench(cfg).New(m, apps.Env{Cores: 1})
 		o := &outcome{runtimes: stats.NewSeriesSet(), penalties: stats.NewSeriesSet()}
-		m.Every(time.Second, time.Second, func() bool {
-			now := m.Now() - apps.ShellWarmup
-			if sys.Master != nil {
-				o.runtimes.Get("master").Add(now, sys.Master.RunTime.Seconds())
-				o.penalties.Get("master").Add(now, float64(u.Score(sys.Master)))
-			}
-			for i, w := range sys.Workers {
-				// Sample a representative subset of workers: every 8th.
-				if i%8 == 0 {
-					o.runtimes.Get(fmt.Sprintf("worker-%d", i)).Add(now, w.RunTime.Seconds())
-					o.penalties.Get(fmt.Sprintf("worker-%d", i)).Add(now, float64(u.Score(w)))
+		var (
+			u   *ule.Sched
+			sys *apps.Instance
+		)
+		trial := Trial[*outcome]{
+			Name:    "fig3/ule",
+			Machine: MachineConfig{Cores: 1, Kind: ULE, Seed: 2},
+			Workload: func(m *sim.Machine) {
+				u = m.Scheduler().(*ule.Sched)
+				cfg := apps.DefaultSysbench()
+				cfg.Threads = 128
+				sys = apps.Sysbench(cfg).New(m, apps.Env{Cores: 1})
+				m.Every(time.Second, time.Second, func() bool {
+					now := m.Now() - apps.ShellWarmup
+					if sys.Master != nil {
+						o.runtimes.Get("master").Add(now, sys.Master.RunTime.Seconds())
+						o.penalties.Get("master").Add(now, float64(u.Score(sys.Master)))
+					}
+					for i, w := range sys.Workers {
+						// Sample a representative subset of workers: every 8th.
+						if i%8 == 0 {
+							o.runtimes.Get(fmt.Sprintf("worker-%d", i)).Add(now, w.RunTime.Seconds())
+							o.penalties.Get(fmt.Sprintf("worker-%d", i)).Add(now, float64(u.Score(w)))
+						}
+					}
+					return true
+				})
+			},
+			Window: apps.ShellWarmup + scaleDur(140*time.Second, scale, 20*time.Second),
+			Extract: func(m *sim.Machine) *outcome {
+				for _, w := range sys.Workers {
+					if u.Interactive(w) {
+						o.inter++
+						if w.RunTime >= 10*time.Millisecond {
+							o.executedInter++
+						}
+					} else {
+						o.batch++
+						if w.RunTime < 10*time.Millisecond {
+							o.starvedBatch++
+						}
+					}
 				}
-			}
-			return true
-		})
-		m.Run(apps.ShellWarmup + scaleDur(140*time.Second, scale, 20*time.Second))
-		for _, w := range sys.Workers {
-			if u.Interactive(w) {
-				o.inter++
-				if w.RunTime >= 10*time.Millisecond {
-					o.executedInter++
-				}
-			} else {
-				o.batch++
-				if w.RunTime < 10*time.Millisecond {
-					o.starvedBatch++
-				}
-			}
+				return o
+			},
 		}
-		cache[scale] = o
-		return o
+		res := RunTrials([]Trial[*outcome]{trial})[0]
+		cache[key] = res
+		return res
 	}
 	register(Experiment{
 		ID:    "fig3",
 		Title: "Cumulative runtime of sysbench threads on ULE (intra-app starvation)",
 		Run: func(scale float64) *Result {
 			o := run(scale)
-			r := &Result{ID: "fig3", Title: "sysbench per-thread runtime under ULE", Series: map[string]*stats.SeriesSet{"runtime": o.runtimes}}
+			r := &Result{ID: "fig3", Title: "sysbench per-thread runtime under ULE"}
+			r.AddSeries("runtime", o.runtimes)
 			r.Rows = append(r.Rows, Row{
 				Label: "threads",
 				Order: []string{"interactive", "batch", "interactive_executed", "batch_starved"},
@@ -275,7 +329,8 @@ func init() {
 		Title: "Interactivity penalty of the sysbench threads of fig3",
 		Run: func(scale float64) *Result {
 			o := run(scale)
-			r := &Result{ID: "fig4", Title: "sysbench per-thread penalties under ULE", Series: map[string]*stats.SeriesSet{"penalty": o.penalties}}
+			r := &Result{ID: "fig4", Title: "sysbench per-thread penalties under ULE"}
+			r.AddSeries("penalty", o.penalties)
 			lo, hi := 0, 0
 			o.penalties.Each(func(s *stats.Series) {
 				if s.Name == "master" {
@@ -299,5 +354,4 @@ func init() {
 			return r
 		},
 	})
-	_ = sim.StateDead
 }

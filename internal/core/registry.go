@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cfs"
+	"repro/internal/sim"
+	"repro/internal/ule"
+)
+
+// Factory builds a scheduler instance for one machine. Factories receive the
+// whole MachineConfig so variants can honour (or deliberately override) the
+// caller's tunables; any state a variant needs beyond that is closed over,
+// which keeps the registry signature opaque — core never learns what a
+// variant's params look like.
+type Factory func(mc MachineConfig) sim.Scheduler
+
+var (
+	schedMu        sync.RWMutex
+	schedFactories = map[SchedulerKind]Factory{}
+)
+
+// Register adds a scheduling class or ablation variant under kind. New
+// schedulers drop in without touching core: packages (or tests, or CLIs)
+// call Register from their own init and every experiment, CLI flag, and
+// Config.Scheduler value accepts the new kind immediately. Registering a
+// kind twice is an error.
+func Register(kind SchedulerKind, f Factory) error {
+	if kind == "" {
+		return fmt.Errorf("core: cannot register empty scheduler kind")
+	}
+	if f == nil {
+		return fmt.Errorf("core: nil factory for scheduler kind %q", kind)
+	}
+	schedMu.Lock()
+	defer schedMu.Unlock()
+	if _, dup := schedFactories[kind]; dup {
+		return fmt.Errorf("core: scheduler kind %q already registered", kind)
+	}
+	schedFactories[kind] = f
+	return nil
+}
+
+// MustRegister is Register, panicking on error; for init-time registration.
+func MustRegister(kind SchedulerKind, f Factory) {
+	if err := Register(kind, f); err != nil {
+		panic(err)
+	}
+}
+
+// SchedulerKinds lists every registered kind, sorted.
+func SchedulerKinds() []SchedulerKind {
+	schedMu.RLock()
+	defer schedMu.RUnlock()
+	kinds := make([]SchedulerKind, 0, len(schedFactories))
+	for k := range schedFactories {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}
+
+// NewScheduler builds the scheduler mc.Kind names, or reports an error for
+// an unknown kind.
+func NewScheduler(mc MachineConfig) (sim.Scheduler, error) {
+	schedMu.RLock()
+	f, ok := schedFactories[mc.Kind]
+	schedMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown scheduler kind %q (registered: %v)", mc.Kind, SchedulerKinds())
+	}
+	return f(mc), nil
+}
+
+// uleFactory builds a ULE factory: defaults, overridden by the machine
+// config's ULEParams when set, then mutated by the variant's tweak. This is
+// the pattern to copy for new ULE tuning studies.
+func uleFactory(mutate func(*ule.Params)) Factory {
+	return func(mc MachineConfig) sim.Scheduler {
+		p := ule.DefaultParams()
+		if mc.ULEParams != nil {
+			p = *mc.ULEParams
+		}
+		if mutate != nil {
+			mutate(&p)
+		}
+		return ule.New(p)
+	}
+}
+
+// cfsFactory is uleFactory's CFS counterpart.
+func cfsFactory(mutate func(*cfs.Params)) Factory {
+	return func(mc MachineConfig) sim.Scheduler {
+		p := cfs.DefaultParams()
+		if mc.CFSParams != nil {
+			p = *mc.CFSParams
+		}
+		if mutate != nil {
+			mutate(&p)
+		}
+		return cfs.New(p)
+	}
+}
+
+// The built-in scheduling classes self-register through the same path any
+// external variant uses, followed by the ablation variants the §5–§6
+// validation experiments select purely by kind.
+func init() {
+	MustRegister(CFS, cfsFactory(nil))
+	MustRegister(ULE, uleFactory(nil))
+	MustRegister(FIFO, func(mc MachineConfig) sim.Scheduler {
+		return sim.NewFIFO()
+	})
+
+	// ULE wakeup placement replaced with always-previous-CPU (§6.3).
+	MustRegister(ULEPrevCPU, uleFactory(func(p *ule.Params) { p.WakeupPrevCPUOnly = true }))
+	// Wakeup preemption for timeshare threads (the §5.3 apache ablation).
+	MustRegister(ULEFullPreempt, uleFactory(func(p *ule.Params) { p.FullPreempt = true }))
+	// FreeBSD 11.1 balancer-period fix reverted (ref [1]): the periodic
+	// balancer never runs, only idle stealing.
+	MustRegister(ULEStockBug, uleFactory(func(p *ule.Params) { p.FixBalancerBug = false }))
+	// Autogroup/cgroup hierarchy disabled (pre-2.6.38 per-thread fairness).
+	MustRegister(CFSNoCgroups, cfsFactory(func(p *cfs.Params) { p.Cgroups = false }))
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/ule"
+)
+
+func TestRegisterDuplicateAndUnknown(t *testing.T) {
+	f := func(mc MachineConfig) sim.Scheduler { return sim.NewFIFO() }
+	if err := Register("test-fifo-clone", f); err != nil {
+		t.Fatalf("first Register: %v", err)
+	}
+	if err := Register("test-fifo-clone", f); err == nil {
+		t.Fatal("duplicate Register succeeded")
+	} else if !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("duplicate error = %v", err)
+	}
+	if err := Register("", f); err == nil {
+		t.Fatal("empty-kind Register succeeded")
+	}
+	if err := Register("test-nil-factory", nil); err == nil {
+		t.Fatal("nil-factory Register succeeded")
+	}
+
+	if _, err := NewScheduler(MachineConfig{Kind: "no-such-kind"}); err == nil {
+		t.Fatal("NewScheduler accepted an unknown kind")
+	} else if !strings.Contains(err.Error(), "no-such-kind") {
+		t.Fatalf("unknown-kind error = %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMachine should panic on unknown kinds")
+		}
+	}()
+	NewMachine(MachineConfig{Cores: 1, Kind: "no-such-kind"})
+}
+
+func TestRegisterBuiltinsAndVariants(t *testing.T) {
+	have := map[SchedulerKind]bool{}
+	for _, k := range SchedulerKinds() {
+		have[k] = true
+	}
+	for _, k := range []SchedulerKind{CFS, ULE, FIFO, ULEPrevCPU, ULEFullPreempt, ULEStockBug, CFSNoCgroups} {
+		if !have[k] {
+			t.Errorf("kind %q not registered", k)
+		}
+	}
+	// Every registered kind must build a working machine.
+	for _, k := range SchedulerKinds() {
+		m := NewMachine(MachineConfig{Cores: 1, Kind: k})
+		if m.Scheduler().Name() == "" {
+			t.Errorf("kind %q built a nameless scheduler", k)
+		}
+	}
+}
+
+// TestRegisterVariantDropIn is the registry's reason to exist: a new
+// ablation variant plugs in without touching core, and experiments can
+// select it purely by kind.
+func TestRegisterVariantDropIn(t *testing.T) {
+	kind := SchedulerKind("test-ule-slice")
+	err := Register(kind, func(mc MachineConfig) sim.Scheduler {
+		p := ule.DefaultParams()
+		if mc.ULEParams != nil {
+			p = *mc.ULEParams
+		}
+		return ule.New(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(MachineConfig{Cores: 1, Kind: kind})
+	if _, ok := m.Scheduler().(*ule.Sched); !ok {
+		t.Fatalf("variant built %T, want *ule.Sched", m.Scheduler())
+	}
+	// The variant is a first-class trial citizen too.
+	out := RunTrials([]Trial[string]{{
+		Name:    "variant-smoke",
+		Machine: MachineConfig{Cores: 1, Kind: kind},
+		Extract: func(m *sim.Machine) string { return m.Scheduler().Name() },
+	}})
+	if out[0] == "" {
+		t.Fatal("trial under variant kind returned no scheduler name")
+	}
+}

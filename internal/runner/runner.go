@@ -1,0 +1,161 @@
+// Package runner executes experiment trial grids across a bounded pool of
+// goroutines. The simulator itself is strictly sequential and deterministic,
+// but every trial of an experiment grid (app × scheduler × topology × seed)
+// owns its own sim.Machine, so trials are independent and host-level
+// parallelism is safe. The pool hands out trial indices in order, writes
+// each result into its slot of a pre-sized slice, and returns the slice in
+// trial order — so a parallel run is byte-identical to a sequential one no
+// matter how the goroutines interleave.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the pool width set via SetWorkers; 0 means "auto"
+// (GOMAXPROCS).
+var defaultWorkers atomic.Int64
+
+// Workers returns the current default pool width: the value installed by
+// SetWorkers, or GOMAXPROCS(0) when unset.
+func Workers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers installs the default pool width used by Map. n < 1 restores
+// the automatic default (GOMAXPROCS). The CLI's -jobs flag lands here.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Map runs fn(0..n-1) on the default worker pool and returns the results in
+// index order.
+func Map[T any](n int, fn func(i int) T) []T { return MapN(n, Workers(), fn) }
+
+// TrialPanic is the value MapN re-panics with when a job panicked: it
+// preserves the failing job's index, the original panic value, and the
+// stack captured at the panic site, so callers recovering it (e.g. the
+// schedbattle sweep) can report the real failure instead of a flattened
+// string.
+type TrialPanic struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (p *TrialPanic) Error() string {
+	return fmt.Sprintf("runner: trial %d panicked: %v\n%s", p.Index, p.Value, p.Stack)
+}
+
+// MapN runs fn(0..n-1) across at most workers goroutines. Results come back
+// in index order regardless of completion order. If any call panics, the
+// remaining jobs still run (each job is isolated) and MapN re-panics on the
+// caller with the lowest-index panic, so failure reporting is deterministic
+// too.
+func MapN[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Fast path: no goroutines, no synchronisation — the sequential
+		// baseline that parallel runs must reproduce byte-for-byte.
+		var panics []*TrialPanic
+		for i := range out {
+			runOne(i, fn, out, &panics, nil)
+		}
+		rethrow(panics)
+		return out
+	}
+
+	var (
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		panics []*TrialPanic
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runOne(i, fn, out, &panics, &mu)
+			}
+		}()
+	}
+	wg.Wait()
+	rethrow(panics)
+	return out
+}
+
+// runOne executes job i, recovering a panic into panics (under mu when
+// non-nil) instead of unwinding the worker. The stack is captured inside
+// the recover, so it still shows the original panic site.
+func runOne[T any](i int, fn func(i int) T, out []T, panics *[]*TrialPanic, mu *sync.Mutex) {
+	defer func() {
+		if r := recover(); r != nil {
+			p := &TrialPanic{Index: i, Value: r, Stack: debug.Stack()}
+			if mu != nil {
+				mu.Lock()
+				defer mu.Unlock()
+			}
+			*panics = append(*panics, p)
+		}
+	}()
+	out[i] = fn(i)
+}
+
+// rethrow re-raises the lowest-index recorded panic, if any.
+func rethrow(panics []*TrialPanic) {
+	if len(panics) == 0 {
+		return
+	}
+	sort.Slice(panics, func(a, b int) bool { return panics[a].Index < panics[b].Index })
+	panic(panics[0])
+}
+
+// DeriveSeed deterministically derives a per-trial seed from a base seed, a
+// stable key (typically the trial or experiment name), and the trial's
+// index in its grid. The derivation is a pure function of its inputs, so
+// it is independent of pool width and scheduling order — the property the
+// byte-identical-output guarantee rests on. The result is always positive.
+func DeriveSeed(base int64, key string, index int) int64 {
+	// FNV-1a over the key, folded with the base and index, finished with
+	// the splitmix64 avalanche so nearby (base, index) pairs decorrelate.
+	h := uint64(base) ^ 0xcbf29ce484222325
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 0x100000001b3
+	}
+	h ^= uint64(index+1) * 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	s := int64(h &^ (1 << 63))
+	if s == 0 {
+		s = 1
+	}
+	return s
+}

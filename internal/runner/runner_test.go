@@ -1,0 +1,129 @@
+package runner
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapNOrdering(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		out := MapN(100, workers, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapNEmptyAndClamp(t *testing.T) {
+	if out := MapN(0, 8, func(i int) int { t.Fatal("called"); return 0 }); len(out) != 0 {
+		t.Fatalf("empty grid returned %d results", len(out))
+	}
+	// workers > n and workers < 1 must both be safe.
+	if out := MapN(3, 100, func(i int) int { return i }); len(out) != 3 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if out := MapN(3, -1, func(i int) int { return i }); len(out) != 3 {
+		t.Fatalf("len = %d", len(out))
+	}
+}
+
+func TestMapConcurrencyBound(t *testing.T) {
+	var cur, peak atomic.Int64
+	MapN(64, 4, func(i int) int {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		runtime.Gosched()
+		cur.Add(-1)
+		return i
+	})
+	if peak.Load() > 4 {
+		t.Fatalf("observed %d concurrent jobs, bound was 4", peak.Load())
+	}
+}
+
+func TestMapNPanicLowestIndex(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: expected panic", workers)
+				}
+				// Both index 3 and 7 panic; the re-raise must deterministically
+				// pick the lowest, and preserve the original value and stack.
+				p, ok := r.(*TrialPanic)
+				if !ok {
+					t.Fatalf("workers=%d: panic value %T, want *TrialPanic", workers, r)
+				}
+				if p.Index != 3 {
+					t.Fatalf("workers=%d: panicked trial %d, want 3", workers, p.Index)
+				}
+				if p.Value != "boom" {
+					t.Fatalf("workers=%d: panic value %v, want boom", workers, p.Value)
+				}
+				if !strings.Contains(string(p.Stack), "runner_test") {
+					t.Fatalf("workers=%d: stack missing panic site:\n%s", workers, p.Stack)
+				}
+				if !strings.Contains(p.Error(), "trial 3 panicked: boom") {
+					t.Fatalf("workers=%d: Error() = %q", workers, p.Error())
+				}
+			}()
+			MapN(10, workers, func(i int) int {
+				if i == 3 || i == 7 {
+					panic("boom")
+				}
+				return i
+			})
+		}()
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers = %d", Workers())
+	}
+	SetWorkers(0)
+	if Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("auto Workers = %d, want GOMAXPROCS %d", Workers(), runtime.GOMAXPROCS(0))
+	}
+	SetWorkers(-5)
+	if Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative SetWorkers: Workers = %d", Workers())
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	// Pure function of its inputs.
+	if DeriveSeed(42, "fig5/MG", 3) != DeriveSeed(42, "fig5/MG", 3) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	// Distinct along each axis.
+	seen := map[int64]string{}
+	add := func(s int64, what string) {
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision: %s and %s both map to %d", prev, what, s)
+		}
+		seen[s] = what
+	}
+	add(DeriveSeed(42, "a", 0), "base42/a/0")
+	add(DeriveSeed(42, "a", 1), "base42/a/1")
+	add(DeriveSeed(42, "b", 0), "base42/b/0")
+	add(DeriveSeed(7, "a", 0), "base7/a/0")
+	// Always positive.
+	for i := 0; i < 1000; i++ {
+		if s := DeriveSeed(int64(i), "x", i); s <= 0 {
+			t.Fatalf("DeriveSeed(%d) = %d, want > 0", i, s)
+		}
+	}
+}

@@ -125,6 +125,30 @@ func (ss *SeriesSet) Get(name string) *Series {
 	return s
 }
 
+// Put installs s under name, replacing an existing series of that name and
+// preserving creation order otherwise; Merge adopts series through it.
+func (ss *SeriesSet) Put(name string, s *Series) {
+	if _, ok := ss.byName[name]; !ok {
+		ss.order = append(ss.order, name)
+	}
+	ss.byName[name] = s
+}
+
+// Merge adopts every series of o in o's creation order. A same-named
+// series in ss is REPLACED by o's, not concatenated — callers that need to
+// keep both recordings must rename first. Experiment drivers fold
+// per-trial sub-results with core's Result.Merge, which combines colliding
+// series sets through this; merging in trial declaration order keeps the
+// combined set deterministic however the trials were scheduled.
+func (ss *SeriesSet) Merge(o *SeriesSet) {
+	if o == nil {
+		return
+	}
+	for _, name := range o.order {
+		ss.Put(name, o.byName[name])
+	}
+}
+
 // Names returns series names in creation order.
 func (ss *SeriesSet) Names() []string { return ss.order }
 

@@ -197,3 +197,36 @@ func TestMeanStddevSpread(t *testing.T) {
 		t.Fatalf("Spread = %v", got)
 	}
 }
+
+func TestSeriesSetPutMerge(t *testing.T) {
+	a := NewSeriesSet()
+	a.Get("x").Add(1, 1)
+	a.Get("y").Add(2, 2)
+
+	b := NewSeriesSet()
+	b.Get("y").Add(3, 30) // replaces a's y on merge
+	b.Get("z").Add(4, 40)
+
+	a.Merge(b)
+	if got := a.Names(); len(got) != 3 || got[0] != "x" || got[1] != "y" || got[2] != "z" {
+		t.Fatalf("merged names = %v, want [x y z]", got)
+	}
+	if v := a.Get("y").Last().V; v != 30 {
+		t.Fatalf("merged y last = %v, want the adopted series", v)
+	}
+	if v := a.Get("z").Last().V; v != 40 {
+		t.Fatalf("merged z last = %v", v)
+	}
+
+	// Merge with nil is a no-op; Put keeps first-created order stable.
+	a.Merge(nil)
+	s := &Series{Name: "x2"}
+	s.Add(9, 9)
+	a.Put("x", s)
+	if got := a.Names(); len(got) != 3 || got[0] != "x" {
+		t.Fatalf("Put reordered names: %v", got)
+	}
+	if v := a.Get("x").Last().V; v != 9 {
+		t.Fatalf("Put did not replace series: %v", v)
+	}
+}

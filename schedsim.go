@@ -24,6 +24,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/cfs"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/ule"
 )
@@ -31,7 +32,9 @@ import (
 // SchedulerKind selects a scheduling class.
 type SchedulerKind = core.SchedulerKind
 
-// Scheduler kinds.
+// Scheduler kinds. The set is open-ended: RegisterScheduler installs new
+// classes or ablation variants, and any registered kind is accepted by
+// Config.Scheduler and the experiment drivers.
 const (
 	// CFS is the Linux Completely Fair Scheduler (§2.1 of the paper).
 	CFS = core.CFS
@@ -39,7 +42,34 @@ const (
 	ULE = core.ULE
 	// FIFO is a minimal round-robin baseline scheduler.
 	FIFO = core.FIFO
+
+	// ULEPrevCPU places every wakeup on the thread's previous CPU (§6.3).
+	ULEPrevCPU = core.ULEPrevCPU
+	// ULEFullPreempt enables wakeup preemption for timeshare threads (§5.3).
+	ULEFullPreempt = core.ULEFullPreempt
+	// ULEStockBug reverts the FreeBSD 11.1 balancer-period fix (ref [1]).
+	ULEStockBug = core.ULEStockBug
+	// CFSNoCgroups disables group fairness (pre-2.6.38 behaviour).
+	CFSNoCgroups = core.CFSNoCgroups
 )
+
+// MachineConfig is the low-level machine assembly spec scheduler factories
+// receive; see RegisterScheduler.
+type MachineConfig = core.MachineConfig
+
+// SchedulerFactory builds a scheduler instance for one machine.
+type SchedulerFactory = core.Factory
+
+// RegisterScheduler installs a new scheduling class or ablation variant
+// under kind. Registered kinds work everywhere a SchedulerKind does:
+// Config.Scheduler, experiment machine configs, and the schedbattle CLI.
+// Registering an existing kind is an error.
+func RegisterScheduler(kind SchedulerKind, f SchedulerFactory) error {
+	return core.Register(kind, f)
+}
+
+// SchedulerKinds lists every registered scheduler kind, sorted.
+func SchedulerKinds() []SchedulerKind { return core.SchedulerKinds() }
 
 // Config assembles a simulated machine.
 type Config struct {
@@ -82,10 +112,8 @@ func New(cfg Config) *Machine {
 		ULEParams:     cfg.ULEParams,
 		Cost:          cfg.Cost,
 		TraceCapacity: cfg.TraceCapacity,
+		KernelNoise:   cfg.KernelNoise,
 	})
-	if cfg.KernelNoise {
-		apps.StartKernelNoise(m, 15*time.Millisecond, 300*time.Microsecond)
-	}
 	return &Machine{M: m}
 }
 
@@ -155,7 +183,10 @@ func Experiments() []Experiment { return core.Experiments() }
 
 // RunExperiment runs one artifact by id ("fig1".."fig9", "table2",
 // "overhead", "ablation-*") at the given scale (1.0 = paper-sized; smaller
-// shrinks durations). It panics on unknown ids.
+// shrinks durations). It panics on unknown ids. The experiment's trial grid
+// executes on a worker pool SetJobs wide; results are byte-identical
+// whatever the pool width, because every trial owns a private deterministic
+// machine and results merge in trial order.
 func RunExperiment(id string, scale float64) *Result {
 	e, err := core.ByID(id)
 	if err != nil {
@@ -163,3 +194,14 @@ func RunExperiment(id string, scale float64) *Result {
 	}
 	return e.Run(scale)
 }
+
+// SetJobs sets how many trials of an experiment grid run concurrently
+// (n < 1 restores the default, GOMAXPROCS). Parallelism never changes
+// results — only wall-clock time.
+func SetJobs(n int) { runner.SetWorkers(n) }
+
+// SetBaseSeed installs a deterministic per-trial seed perturbation for all
+// experiment grids. Zero (the default) keeps the paper-tuned seeds;
+// any other value re-derives every trial's seed from (base, trial name,
+// trial index), for repeat-trial variance studies.
+func SetBaseSeed(s int64) { core.SetBaseSeed(s) }
