@@ -10,6 +10,7 @@
 //	schedbattle -run table2 -jobs 8
 //	schedbattle -run fig6 -scale 0.25 -series /tmp/fig6
 //	schedbattle -all -scale 0.2 -jobs 16 -seed 7
+//	schedbattle -perf
 package main
 
 import (
@@ -33,8 +34,18 @@ func main() {
 		seriesDir = flag.String("series", "", "directory to write gnuplot series files into")
 		jobs      = flag.Int("jobs", runtime.GOMAXPROCS(0), "trial-grid worker pool width")
 		seed      = flag.Int64("seed", 0, "base-seed perturbation for every trial (0 = the paper-tuned seeds)")
+		perf      = flag.Bool("perf", false, "run the engine perf harness and write -perf-out")
+		perfOut   = flag.String("perf-out", "BENCH_engine.json", "engine perf harness output file")
 	)
 	flag.Parse()
+
+	if *perf {
+		if err := runPerf(*perfOut); err != nil {
+			fmt.Fprintf(os.Stderr, "schedbattle: perf: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range core.Experiments() {
@@ -56,7 +67,7 @@ func main() {
 	case *run != "":
 		ids = []string{*run}
 	default:
-		fmt.Fprintln(os.Stderr, "schedbattle: need -run <id>, -all, or -list")
+		fmt.Fprintln(os.Stderr, "schedbattle: need -run <id>, -all, -perf, or -list")
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -1,0 +1,95 @@
+package main
+
+// The engine perf harness behind `schedbattle -perf`: it times a fixed set
+// of simulation scenarios on this machine and writes events/sec and
+// sim-seconds-per-wall-second to a JSON file, so the engine's performance
+// trajectory is tracked run over run (EXPERIMENTS.md, "Engine perf
+// harness").
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// perfScenario is one timed simulation: a machine builder plus the
+// simulated window to drive it through.
+type perfScenario struct {
+	name   string
+	window time.Duration
+	build  func() *sim.Machine
+}
+
+// perfResult is one BENCH_engine.json row.
+type perfResult struct {
+	Name         string  `json:"name"`
+	Events       uint64  `json:"events"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	SimSeconds   float64 `json:"sim_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	SimPerWall   float64 `json:"sim_seconds_per_wall_second"`
+}
+
+// perfScenarios covers the regimes that bound experiment wall-clock time:
+// a saturated server workload under each scheduler (event-dense) and a
+// mostly-idle machine (tick-dominated before the tickless engine).
+func perfScenarios() []perfScenario {
+	server := func(kind core.SchedulerKind) func() *sim.Machine {
+		return func() *sim.Machine {
+			m := core.NewMachine(core.MachineConfig{Cores: 32, Kind: kind, Seed: 13, KernelNoise: true})
+			spec, err := apps.ByName("sysbench")
+			if err != nil {
+				panic(err)
+			}
+			spec.New(m, apps.Env{Cores: 32})
+			return m
+		}
+	}
+	return []perfScenario{
+		{name: "sysbench-ule-32", window: apps.ShellWarmup + 3*time.Second, build: server(core.ULE)},
+		{name: "sysbench-cfs-32", window: apps.ShellWarmup + 3*time.Second, build: server(core.CFS)},
+		{name: "idle-ule-32", window: 10 * time.Second, build: func() *sim.Machine {
+			return core.NewMachine(core.MachineConfig{Cores: 32, Kind: core.ULE, Seed: 13})
+		}},
+	}
+}
+
+// runPerf executes the harness and writes the JSON report to path.
+func runPerf(path string) error {
+	var results []perfResult
+	for _, sc := range perfScenarios() {
+		m := sc.build()
+		start := time.Now()
+		m.Run(sc.window)
+		wall := time.Since(start).Seconds()
+		r := perfResult{
+			Name:        sc.name,
+			Events:      m.EventsProcessed(),
+			WallSeconds: wall,
+			SimSeconds:  sc.window.Seconds(),
+		}
+		if wall > 0 {
+			r.EventsPerSec = float64(r.Events) / wall
+			r.SimPerWall = r.SimSeconds / wall
+		}
+		fmt.Printf("%-18s %12d events  %8.3fs wall  %10.0f events/s  %8.1f sim-s/wall-s\n",
+			r.Name, r.Events, r.WallSeconds, r.EventsPerSec, r.SimPerWall)
+		results = append(results, r)
+	}
+	out, err := json.MarshalIndent(struct {
+		Scenarios []perfResult `json:"scenarios"`
+	}{results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

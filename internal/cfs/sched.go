@@ -60,6 +60,11 @@ func (s *Sched) Name() string { return "cfs" }
 // TickPeriod implements sim.Scheduler: HZ=1000.
 func (s *Sched) TickPeriod() time.Duration { return time.Millisecond }
 
+// NeedsIdleTick implements sim.Scheduler: the periodic LLC/NUMA balancer
+// runs from Tick on idle cores too (the Figure 6 convergence mechanism), so
+// CFS opts in to idle ticks.
+func (s *Sched) NeedsIdleTick() bool { return true }
+
 // Attach implements sim.Scheduler.
 func (s *Sched) Attach(m *sim.Machine) {
 	s.m = m

@@ -56,6 +56,10 @@ type MachineConfig struct {
 	TraceCapacity int
 	// KernelNoise starts per-core kworker threads (multicore experiments).
 	KernelNoise bool
+	// ForceIdleTicks keeps ticks firing on idle cores even for schedulers
+	// that opt out via NeedsIdleTick — the pre-tickless engine semantics,
+	// used by the tickless cross-validation tests.
+	ForceIdleTicks bool
 }
 
 // Topology returns the topo for the configured core count.
@@ -85,9 +89,10 @@ func NewMachine(mc MachineConfig) *sim.Machine {
 		mc.Seed = 42
 	}
 	m := sim.NewMachine(mc.Topology(), sched, sim.Options{
-		Seed:          mc.Seed,
-		Cost:          mc.Cost,
-		TraceCapacity: mc.TraceCapacity,
+		Seed:           mc.Seed,
+		Cost:           mc.Cost,
+		TraceCapacity:  mc.TraceCapacity,
+		ForceIdleTicks: mc.ForceIdleTicks,
 	})
 	if mc.KernelNoise {
 		apps.StartKernelNoise(m, 15*time.Millisecond, 300*time.Microsecond)

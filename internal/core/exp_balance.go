@@ -44,8 +44,10 @@ func fig6Trial(kind SchedulerKind, scale float64, uleBug bool) Trial[fig6Outcome
 					Prog: &workload.Loop{Burst: 10 * time.Millisecond},
 				})
 			}
+			var buf []int
 			m.Every(250*time.Millisecond, 250*time.Millisecond, func() bool {
-				for i, n := range m.RunnableCounts() {
+				buf = m.RunnableCountsInto(buf)
+				for i, n := range buf {
 					counts.Get(fmt.Sprintf("core%d", i)).Add(m.Now(), float64(n))
 				}
 				return true
@@ -58,12 +60,15 @@ func fig6Trial(kind SchedulerKind, scale float64, uleBug bool) Trial[fig6Outcome
 			}
 			perfect := float64(nThreads / 32) // per-core count when exactly even
 
-			// Run until balanced (spread <= 1) or the deadline.
+			// Run until balanced (spread <= 1) or the deadline. The
+			// predicate runs at every scheduling boundary, so it samples
+			// into reused buffers.
 			deadline := unpinAt + scaleDur(600*time.Second, scale, 30*time.Second)
 			balancedAt := time.Duration(0)
+			var cs []int
+			fs := make([]float64, len(m.Cores))
 			m.RunUntil(func() bool {
-				cs := m.RunnableCounts()
-				fs := make([]float64, len(cs))
+				cs = m.RunnableCountsInto(cs)
 				for i, n := range cs {
 					fs[i] = float64(n)
 				}
@@ -74,7 +79,7 @@ func fig6Trial(kind SchedulerKind, scale float64, uleBug bool) Trial[fig6Outcome
 				return false
 			}, deadline)
 
-			cs := m.RunnableCounts()
+			cs = m.RunnableCountsInto(cs)
 			final := make([]float64, len(cs))
 			total := 0
 			for i, n := range cs {
@@ -122,8 +127,10 @@ func fig7Trial(kind SchedulerKind, scale float64) (Trial[Row], *stats.SeriesSet)
 		Machine: MachineConfig{Cores: 32, Kind: kind, Seed: 4, KernelNoise: true},
 		Workload: func(m *sim.Machine) {
 			in = apps.CRay().New(m, apps.Env{Cores: 32})
+			var buf []int
 			m.Every(250*time.Millisecond, 250*time.Millisecond, func() bool {
-				for i, n := range m.RunnableCounts() {
+				buf = m.RunnableCountsInto(buf)
+				for i, n := range buf {
 					counts.Get(fmt.Sprintf("core%d", i)).Add(m.Now(), float64(n))
 				}
 				return true

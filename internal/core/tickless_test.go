@@ -1,0 +1,118 @@
+package core
+
+// Cross-validation of the tickless engine: a representative trial grid runs
+// once with the pre-tickless semantics (ForceIdleTicks: idle ticks always
+// fire) and once on the tickless path, and the outcomes must be identical —
+// trace event counts, per-thread runtimes, and the experiment Result rows
+// built from them — for cfs, ule, and fifo (which opt in to idle ticks) as
+// well as for a registered variant that opts out (whose idle tick is a
+// no-op, the NeedsIdleTick()==false contract).
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// noIdleTickFIFO is FIFO with a no-op idle tick that opts out of idle
+// ticks: the tickless path must be indistinguishable from forced ticking.
+type noIdleTickFIFO struct{ *sim.FIFO }
+
+func (s noIdleTickFIFO) NeedsIdleTick() bool { return false }
+
+func (s noIdleTickFIFO) Tick(c *sim.Core, curr *sim.Thread) {
+	if curr == nil {
+		return
+	}
+	s.FIFO.Tick(c, curr)
+}
+
+const ticklessFIFOKind SchedulerKind = "test-fifo-tickless"
+
+func init() {
+	MustRegister(ticklessFIFOKind, func(mc MachineConfig) sim.Scheduler {
+		return noIdleTickFIFO{sim.NewFIFO()}
+	})
+}
+
+// ticklessValidationTrial is one machine of the validation grid: pinned
+// spinners load two cores while sleep-heavy workers leave the rest mostly
+// idle, exercising burst-end, sleep-wake, tick, steal, and balance paths.
+func ticklessValidationTrial(kind SchedulerKind, force bool) Trial[Row] {
+	return Trial[Row]{
+		Name:    fmt.Sprintf("tickless-xval/%s/force=%v", kind, force),
+		Machine: MachineConfig{Cores: 8, Kind: kind, Seed: 11, KernelNoise: true, ForceIdleTicks: force},
+		Workload: func(m *sim.Machine) {
+			for i := 0; i < 4; i++ {
+				m.StartThreadCfg(sim.ThreadConfig{
+					Name: fmt.Sprintf("spin-%d", i), Group: "spin", Pinned: []int{i % 2},
+					Prog: &workload.Loop{Burst: 3 * time.Millisecond},
+				})
+			}
+			for i := 0; i < 6; i++ {
+				m.StartThread(fmt.Sprintf("napper-%d", i), "nap", 0, &workload.FiniteCompute{
+					Burst: 400 * time.Microsecond, N: 200, IOSleep: 2 * time.Millisecond,
+				})
+			}
+		},
+		Window: 400 * time.Millisecond,
+		Extract: func(m *sim.Machine) Row {
+			var run time.Duration
+			for _, th := range m.Threads() {
+				run += th.RunTime
+			}
+			vals := map[string]float64{
+				"events":    float64(m.EventsProcessed()),
+				"runtime_s": run.Seconds(),
+			}
+			for k := trace.Kind(0); k < 8; k++ {
+				vals["trace_"+k.String()] = float64(m.Trace.Count(k))
+			}
+			for i, n := range m.RunnableCounts() {
+				vals[fmt.Sprintf("runnable_%d", i)] = float64(n)
+			}
+			return Row{Label: string(kind), Values: vals}
+		},
+	}
+}
+
+// TestTicklessCrossValidation runs the validation grid under both engine
+// semantics and asserts identical Result rows per scheduler. The events
+// count is compared separately: for opt-in schedulers both paths process
+// identical event streams, while the opt-out variant must process fewer
+// events tickless than forced with everything else unchanged.
+func TestTicklessCrossValidation(t *testing.T) {
+	kinds := []SchedulerKind{CFS, ULE, FIFO, ticklessFIFOKind}
+	var trials []Trial[Row]
+	for _, kind := range kinds {
+		for _, force := range []bool{false, true} {
+			trials = append(trials, ticklessValidationTrial(kind, force))
+		}
+	}
+	rows := RunTrials(trials)
+	for i := 0; i < len(rows); i += 2 {
+		tickless, forced := rows[i], rows[i+1]
+		kind := kinds[i/2]
+		ticklessEvents := tickless.Values["events"]
+		forcedEvents := forced.Values["events"]
+		delete(tickless.Values, "events")
+		delete(forced.Values, "events")
+		a := (&Result{ID: "xval", Rows: []Row{tickless}}).String()
+		b := (&Result{ID: "xval", Rows: []Row{forced}}).String()
+		if a != b {
+			t.Errorf("%s: tickless row differs from forced-idle-ticks row\ntickless: %s\nforced:   %s", kind, a, b)
+		}
+		if kind == ticklessFIFOKind {
+			if ticklessEvents >= forcedEvents {
+				t.Errorf("%s: tickless processed %v events, want fewer than forced %v",
+					kind, ticklessEvents, forcedEvents)
+			}
+		} else if ticklessEvents != forcedEvents {
+			t.Errorf("%s: events %v (tickless) != %v (forced)", kind, ticklessEvents, forcedEvents)
+		}
+	}
+}

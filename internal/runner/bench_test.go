@@ -7,11 +7,15 @@ package runner_test
 // doubles as a check that the pool adds no meaningful overhead.
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // benchExperimentGrid re-runs a cache-free three-trial experiment grid
@@ -34,6 +38,43 @@ func benchExperimentGrid(b *testing.B, workers int) {
 
 func BenchmarkExperimentGridSequential(b *testing.B) { benchExperimentGrid(b, 1) }
 func BenchmarkExperimentGridParallel(b *testing.B)   { benchExperimentGrid(b, 0) }
+
+// benchGridEngineEvents runs a grid of event-dense machines through the
+// pool and reports aggregate engine throughput — the events/s a full
+// experiment sweep actually gets, as opposed to the single-machine rate of
+// sim's BenchmarkEngineEvents.
+func benchGridEngineEvents(b *testing.B, workers int) {
+	runner.SetWorkers(workers)
+	defer runner.SetWorkers(0)
+	trials := make([]core.Trial[uint64], 8)
+	for i := range trials {
+		trials[i] = core.Trial[uint64]{
+			Name:    fmt.Sprintf("grid-events-%d", i),
+			Machine: core.MachineConfig{Cores: 8, Kind: core.ULE, KernelNoise: true},
+			Workload: func(m *sim.Machine) {
+				for j := 0; j < 12; j++ {
+					m.StartThread(fmt.Sprintf("w%d", j), "app", 0, &workload.Loop{Burst: time.Millisecond})
+				}
+			},
+			Window:  250 * time.Millisecond,
+			Extract: func(m *sim.Machine) uint64 { return m.EventsProcessed() },
+		}
+	}
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		for _, n := range core.RunTrials(trials) {
+			events += n
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/s")
+	}
+}
+
+func BenchmarkGridEngineEventsSequential(b *testing.B) { benchGridEngineEvents(b, 1) }
+func BenchmarkGridEngineEventsParallel(b *testing.B)   { benchGridEngineEvents(b, 0) }
 
 // spin is a pure-CPU job, so the Map benchmarks measure pool scaling
 // unconfounded by simulator allocation behaviour.

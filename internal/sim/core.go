@@ -24,6 +24,27 @@ type Core struct {
 	// burstToken invalidates in-flight burst-end events.
 	burstToken uint64
 
+	// tickOffset staggers this core's tick grid (offset + k*period, k ≥ 1).
+	tickOffset time.Duration
+	// tickToken invalidates in-flight tick events (parked or re-armed).
+	tickToken uint64
+	// tickParked is set while the tick is suppressed on an idle core
+	// (tickless mode only); markBusy re-arms on the grid.
+	tickParked bool
+	// lastTick is when this core's tick last fired, so grid re-arming
+	// never double-fires a grid point within one timestamp.
+	lastTick time.Duration
+	// tickAt is the absolute time of the currently armed tick; parking
+	// records it as parkAt, the first suppressed grid point. When the
+	// superseded tick event pops there (a token-mismatch no-op),
+	// parkWatermark captures the sequence counter — the position the
+	// always-ticking engine's idle tick would have fired at — so a wake
+	// exactly one period later can reproduce its same-timestamp ordering
+	// (nextGridTick).
+	tickAt        time.Duration
+	parkAt        time.Duration
+	parkWatermark uint64
+
 	// lastThread is the thread that last occupied the core, to price
 	// context switches.
 	lastThread *Thread
@@ -104,6 +125,14 @@ func (c *Core) markIdle() {
 	if !c.wasIdle {
 		c.wasIdle = true
 		c.idleSince = c.mach.now
+		if !c.mach.idleTicks && !c.tickParked {
+			// Tickless: park the tick; the in-flight event is dropped by
+			// the token bump when it pops (recording parkWatermark there).
+			c.tickParked = true
+			c.tickToken++
+			c.parkAt = c.tickAt
+			c.parkWatermark = 0
+		}
 	}
 }
 
@@ -111,7 +140,59 @@ func (c *Core) markBusy() {
 	if c.wasIdle {
 		c.wasIdle = false
 		c.IdleTime += c.mach.now - c.idleSince
+		if c.tickParked {
+			c.tickParked = false
+			c.mach.armTick(c, c.nextGridTick(c.mach.now))
+		}
 	}
+}
+
+// nextGridTick returns the earliest point of the core's staggered tick grid
+// (tickOffset + k*period, k ≥ 1) at or after now that an always-ticking
+// core would still observe as a busy tick, so a core that idled through
+// some grid points resumes ticking at exactly the times an always-ticking
+// core would.
+//
+// The at == now boundary (a wake landing exactly on a grid point) follows
+// always-ticking event order: there the tick event for `now` was armed at
+// the previous grid point, so the waking event fires first — leaving the
+// tick a busy one — only if it was armed earlier than that re-arm. An
+// event armed strictly before the previous grid point always wins; one
+// armed strictly after always loses. An event armed exactly at the
+// previous grid point is resolved by parkWatermark when that point is the
+// first suppressed one (the superseded tick event popped there, recording
+// the position the always-ticking idle tick fired at); deeper into a
+// parked window no event exists to compare against, and the event is
+// treated as armed after the suppressed tick.
+func (c *Core) nextGridTick(now time.Duration) time.Duration {
+	p := c.mach.tickPeriod
+	n := now - c.tickOffset
+	var at time.Duration
+	if n <= p {
+		at = c.tickOffset + p
+	} else {
+		at = c.tickOffset + n/p*p
+		if at < now {
+			at += p
+		}
+	}
+	if at == now {
+		armedBefore := at - p
+		if armedBefore == c.tickOffset {
+			armedBefore = 0 // first grid point: armed at construction
+		}
+		include := c.mach.curArmed < armedBefore
+		if !include && c.mach.curArmed == armedBefore && armedBefore == c.parkAt {
+			include = c.mach.curSeq <= c.parkWatermark
+		}
+		if !include {
+			at += p
+		}
+	}
+	if at <= c.lastTick {
+		at += p
+	}
+	return at
 }
 
 // Utilization returns busy/(busy+sched+idle) over the simulated run.

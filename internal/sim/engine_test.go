@@ -367,6 +367,288 @@ func TestPinnedThreadStaysPut(t *testing.T) {
 	}
 }
 
+// tickRec is one recorded scheduler tick: when it fired and whether the
+// core was busy.
+type tickRec struct {
+	at   time.Duration
+	busy bool
+}
+
+// ticklessFIFO wraps FIFO with a no-op idle tick and NeedsIdleTick() ==
+// false — the reference scheduler for the tickless engine tests and
+// benchmarks. With record set it logs every Tick invocation per core.
+type ticklessFIFO struct {
+	*FIFO
+	record bool
+	ticks  [][]tickRec
+}
+
+func newTicklessFIFO(record bool) *ticklessFIFO {
+	return &ticklessFIFO{FIFO: NewFIFO(), record: record}
+}
+
+func (s *ticklessFIFO) Attach(m *Machine) {
+	s.FIFO.Attach(m)
+	s.ticks = make([][]tickRec, len(m.Cores))
+}
+
+func (s *ticklessFIFO) NeedsIdleTick() bool { return false }
+
+func (s *ticklessFIFO) Tick(c *Core, curr *Thread) {
+	if s.record {
+		s.ticks[c.ID] = append(s.ticks[c.ID], tickRec{at: c.Machine().Now(), busy: curr != nil})
+	}
+	if curr == nil {
+		return // no idle-tick work: the NeedsIdleTick()==false contract
+	}
+	s.FIFO.Tick(c, curr)
+}
+
+// busyTicks filters a core's recorded ticks to those with a running thread.
+func busyTicks(recs []tickRec) []time.Duration {
+	var out []time.Duration
+	for _, r := range recs {
+		if r.busy {
+			out = append(out, r.at)
+		}
+	}
+	return out
+}
+
+// TestTickGridPreservedAcrossIdle is the tick-suppression contract: a core
+// that idles mid-period and wakes later must tick at exactly the same
+// absolute times as an always-ticking core (ForceIdleTicks) observes on its
+// busy ticks. Core 1's 1 ms grid is staggered by 0.5 ms; both scenarios
+// wake exactly on a grid point, from the two sides of the always-ticking
+// same-timestamp ordering: a sleep armed before the previous grid point
+// loses to the in-flight tick (which therefore fires busy, after the wake),
+// while a sleep armed after it fires first in always-ticking order too —
+// there the tick runs idle before the wake, so the wake instant must not
+// gain a busy tick.
+func TestTickGridPreservedAcrossIdle(t *testing.T) {
+	ms := time.Millisecond
+	us := time.Microsecond
+	cases := []struct {
+		name string
+		ops  []Op
+		want []time.Duration // expected core-1 busy ticks
+	}{
+		{
+			name: "sleep-armed-before-previous-grid-point",
+			// Idle 2.5..9.5 ms; the sleep was armed at 2.5 < 8.5, so the
+			// wake at 9.5 observes a busy tick at 9.5, then 10.5..13.5.
+			ops:  []Op{Run(2500 * us), Sleep(7 * ms), Run(5 * ms)},
+			want: []time.Duration{1500 * us, 9500 * us, 10500 * us, 11500 * us, 12500 * us, 13500 * us},
+		},
+		{
+			name: "sleep-armed-after-previous-grid-point",
+			// Idle 2.7..3.5 ms; the sleep was armed at 2.7 > 2.5, so the
+			// always-ticking tick at 3.5 fires idle before the wake — no
+			// busy tick at the wake instant, next at 4.5.
+			ops:  []Op{Run(2700 * us), Sleep(800 * us), Run(2 * ms)},
+			want: []time.Duration{1500 * us, 2500 * us, 4500 * us},
+		},
+		{
+			name: "sleep-armed-exactly-at-previous-grid-point",
+			// The burst ends exactly on the 2.5 ms grid point and arms a
+			// one-period sleep: the wake event (armed before the
+			// always-ticking idle tick at 2.5 fired) beats the re-armed
+			// tick at 3.5, which therefore fires busy — the parkWatermark
+			// tie-break.
+			ops:  []Op{Run(2500 * us), Sleep(1 * ms), Run(3 * ms)},
+			want: []time.Duration{1500 * us, 3500 * us, 4500 * us, 5500 * us},
+		},
+	}
+	tp := topo.MustNew(topo.Config{NUMANodes: 1, LLCsPerNode: 1, CoresPerLLC: 2})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(force bool) (*ticklessFIFO, *Machine) {
+				s := newTicklessFIFO(true)
+				m := NewMachine(tp, s, Options{Seed: 7, Cost: &CostModel{}, ForceIdleTicks: force})
+				m.StartThreadCfg(ThreadConfig{Name: "busy", Group: "app", Pinned: []int{0},
+					Prog: &looper{burst: time.Millisecond}})
+				m.StartThreadCfg(ThreadConfig{Name: "onoff", Group: "app", Pinned: []int{1},
+					Prog: &script{ops: tc.ops}})
+				m.Run(20 * time.Millisecond)
+				return s, m
+			}
+
+			tickless, mt := run(false)
+			forced, mf := run(true)
+
+			// The workload must behave identically either way.
+			for i, th := range mt.Threads() {
+				if got, want := th.RunTime, mf.Threads()[i].RunTime; got != want {
+					t.Fatalf("thread %d RunTime %v (tickless) != %v (forced)", i, got, want)
+				}
+			}
+			for core := 0; core < 2; core++ {
+				supp := tickless.ticks[core]
+				for _, r := range supp {
+					if !r.busy {
+						t.Fatalf("tickless: core %d ticked while idle at %v", core, r.at)
+					}
+				}
+				got := busyTicks(supp)
+				want := busyTicks(forced.ticks[core])
+				if len(got) != len(want) {
+					t.Fatalf("core %d: %d busy ticks (tickless) vs %d (forced)\n got %v\nwant %v",
+						core, len(got), len(want), got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("core %d tick %d: %v (tickless) != %v (forced)", core, i, got[i], want[i])
+					}
+				}
+			}
+			// Pin the absolute core-1 grid times, not just forced-run parity.
+			got := busyTicks(tickless.ticks[1])
+			if len(got) != len(tc.want) {
+				t.Fatalf("core 1 ticks = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("core 1 ticks = %v, want %v", got, tc.want)
+				}
+			}
+			// The forced machine processed the idle ticks the tickless one
+			// parked.
+			if mf.EventsProcessed() <= mt.EventsProcessed() {
+				t.Fatalf("forced events %d <= tickless events %d", mf.EventsProcessed(), mt.EventsProcessed())
+			}
+		})
+	}
+}
+
+// TestTickGridAfterReparkOnSameGridPoint: a core that parks, re-arms to
+// the same grid point, and re-parks leaves two superseded tick events
+// popping at that point. Only the earliest-armed one matches the
+// always-ticking engine's tick chain, so the watermark tie-break must use
+// it: a sleep armed between the two pops (by another thread's burst-end at
+// that timestamp) must not gain a busy tick at its wake, one period later.
+func TestTickGridAfterReparkOnSameGridPoint(t *testing.T) {
+	tp := topo.MustNew(topo.Config{NUMANodes: 1, LLCsPerNode: 1, CoresPerLLC: 2})
+	run := func(force bool) *ticklessFIFO {
+		s := newTicklessFIFO(true)
+		m := NewMachine(tp, s, Options{Seed: 3, Cost: &CostModel{}, ForceIdleTicks: force})
+		// Core 0: busy to 1.2ms (tick for 2ms armed at 1ms), parks, runs
+		// 1.5..1.7ms (re-arms to 2ms), re-parks.
+		m.StartThreadCfg(ThreadConfig{Name: "x", Group: "app", Pinned: []int{0},
+			Prog: &script{ops: []Op{
+				Run(1200 * time.Microsecond),
+				Sleep(300 * time.Microsecond),
+				Run(200 * time.Microsecond),
+				Sleep(5 * time.Millisecond),
+			}}})
+		// Core 1: burst boundary at 1.1ms arms a burst-end for 2ms, which
+		// pops between core 0's two superseded ticks and arms a 1ms sleep;
+		// the 3ms wake lands on idle core 0 exactly on its grid.
+		m.StartThread("y", "app", 0, &script{ops: []Op{
+			Run(1100 * time.Microsecond),
+			Run(900 * time.Microsecond),
+			Sleep(time.Millisecond),
+			Run(1500 * time.Microsecond),
+		}})
+		m.Run(5 * time.Millisecond)
+		return s
+	}
+	tickless := run(false)
+	forced := run(true)
+	for core := 0; core < 2; core++ {
+		got := busyTicks(tickless.ticks[core])
+		want := busyTicks(forced.ticks[core])
+		if len(got) != len(want) {
+			t.Fatalf("core %d busy ticks = %v (tickless), want %v (forced)", core, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("core %d busy ticks = %v (tickless), want %v (forced)", core, got, want)
+			}
+		}
+	}
+	// The always-ticking tick at 3ms fires idle before the wake: no busy
+	// tick at 3ms, only at 1ms (x) and 4ms (y awake on core 0).
+	got := busyTicks(tickless.ticks[0])
+	want := []time.Duration{time.Millisecond, 4 * time.Millisecond}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("core 0 busy ticks = %v, want %v", got, want)
+	}
+}
+
+// TestTickGridAfterOutOfDispatchStart: a thread started between Run
+// windows, at an instant that lands exactly on the tick grid, must not gain
+// a busy tick at that instant — the always-ticking engine's tick there
+// already fired idle, inside the previous Run, before the thread existed.
+func TestTickGridAfterOutOfDispatchStart(t *testing.T) {
+	run := func(force bool) *ticklessFIFO {
+		s := newTicklessFIFO(true)
+		m := NewMachine(topo.SingleCore(), s, Options{Seed: 3, Cost: &CostModel{}, ForceIdleTicks: force})
+		m.StartThread("a", "app", 0, &script{ops: []Op{Run(500 * time.Microsecond)}})
+		m.Run(3 * time.Millisecond) // a exits at 0.5ms; the machine idles to 3ms
+		m.StartThread("b", "app", 0, &script{ops: []Op{Run(1500 * time.Microsecond)}})
+		m.Run(6 * time.Millisecond)
+		return s
+	}
+	tickless := run(false)
+	forced := run(true)
+	got := busyTicks(tickless.ticks[0])
+	want := busyTicks(forced.ticks[0])
+	// b runs 3..4.5ms on the 1ms grid: the only busy tick is at 4ms.
+	if len(want) != 1 || want[0] != 4*time.Millisecond {
+		t.Fatalf("forced busy ticks = %v, want [4ms]", want)
+	}
+	if len(got) != len(want) || got[0] != want[0] {
+		t.Fatalf("busy ticks = %v (tickless), want %v (forced)", got, want)
+	}
+}
+
+// TestTicklessIdleMachineProcessesNoEvents: with no work and a scheduler
+// that opts out of idle ticks, the engine is fully quiescent.
+func TestTicklessIdleMachineProcessesNoEvents(t *testing.T) {
+	tp := topo.Small()
+	m := NewMachine(tp, newTicklessFIFO(false), Options{Seed: 1})
+	m.Run(time.Second)
+	if got := m.EventsProcessed(); got != 0 {
+		t.Fatalf("idle tickless machine processed %d events, want 0", got)
+	}
+	forced := NewMachine(tp, newTicklessFIFO(false), Options{Seed: 1, ForceIdleTicks: true})
+	forced.Run(time.Second)
+	// 8 cores × 1000 ticks/s, minus sub-period staggering remainders.
+	if got := forced.EventsProcessed(); got < 7900 {
+		t.Fatalf("forced idle machine processed %d events, want ~8000", got)
+	}
+}
+
+// TestHotTimerPathsAllocFree drives the burst-end / tick / sleep-wake paths
+// on a warmed machine and asserts the steady state allocates nothing.
+func TestHotTimerPathsAllocFree(t *testing.T) {
+	m := NewMachine(topo.Small(), NewFIFO(), Options{Seed: 5})
+	for i := 0; i < 12; i++ {
+		m.StartThread("w", "app", 0, &runSleeper{run: 700 * time.Microsecond, sleep: 400 * time.Microsecond})
+	}
+	m.Run(250 * time.Millisecond) // settle heap, runqueue, and callback capacity
+	avg := testing.AllocsPerRun(20, func() {
+		m.Run(m.Now() + 5*time.Millisecond)
+	})
+	if avg != 0 {
+		t.Fatalf("hot timer paths allocated %.1f allocs per 5ms window, want 0", avg)
+	}
+}
+
+// runSleeper alternates CPU bursts and timed sleeps forever.
+type runSleeper struct {
+	run, sleep time.Duration
+	sleeping   bool
+}
+
+func (p *runSleeper) Next(ctx *Ctx) Op {
+	p.sleeping = !p.sleeping
+	if p.sleeping {
+		return Run(p.run)
+	}
+	return Sleep(p.sleep)
+}
+
 func TestThreadConservation(t *testing.T) {
 	// No thread may be lost or duplicated across heavy churn.
 	m := newTestMachine(t, topo.Small())

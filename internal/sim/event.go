@@ -5,61 +5,120 @@ import (
 	"time"
 )
 
-// event is one scheduled callback. Ordering is (at, seq): equal-time events
-// fire in scheduling order, making the simulation fully deterministic.
-type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
+// eventKind tags a typed timer event. The hot timer paths — scheduler
+// ticks, burst ends, timed sleep wake-ups — are fully described by
+// (kind, target, token) and stored inline in the heap, so arming them
+// allocates nothing. Closures survive only in the rare generic kind
+// (workload/driver callbacks) and in the per-Every periodic state, which is
+// allocated once per registration and reused across firings.
+type eventKind uint8
+
+const (
+	// evGeneric runs an arbitrary callback (Machine.At / Machine.After).
+	evGeneric eventKind = iota
+	// evTick is a per-core scheduler tick; token is validated against
+	// Core.tickToken, dropping parked or superseded ticks.
+	evTick
+	// evBurstEnd completes the running thread's CPU burst on a core; token
+	// is validated against Core.burstToken.
+	evBurstEnd
+	// evSleepWake ends a timed OpSleep; token is validated against
+	// Thread.sleepToken.
+	evSleepWake
+	// evPeriodic re-fires a Machine.Every callback until it returns false.
+	evPeriodic
+)
+
+// callback is the side-table slot of a generic or periodic event: closures
+// live here, referenced from the heap by handle, keeping the heap elements
+// pointer-free (no GC write barriers on sift copies). Slots are free-listed:
+// a generic slot is released when it fires, a periodic one when its fn
+// returns false, so steady-state timer traffic allocates nothing.
+type callback struct {
+	fn     func()      // generic
+	pfn    func() bool // periodic
+	period time.Duration
+	next   int32 // freelist link while the slot is free
 }
 
-// eventHeap is a binary min-heap of events.
+// event is one scheduled occurrence. Ordering is (at, seq): equal-time
+// events fire in scheduling order, making the simulation fully
+// deterministic. The struct carries no pointers: targets are dense IDs
+// (cores, threads) or callback handles, validated by token where an
+// in-flight event can be superseded.
+type event struct {
+	at    time.Duration
+	seq   uint64
+	token uint64
+	// armed is the simulated time the event was scheduled; tick re-arming
+	// on busy transitions consults it to reproduce always-ticking
+	// same-timestamp ordering (see Core.nextGridTick).
+	armed time.Duration
+	id    int32 // core ID (tick, burstEnd) or callback handle (generic, periodic)
+	tid   int32 // thread ID (burstEnd, sleepWake)
+	kind  eventKind
+}
+
+// eventHeap is a binary min-heap of events ordered by (at, seq).
 type eventHeap struct {
 	es []event
 }
 
 func (h *eventHeap) len() int { return len(h.es) }
 
-func (h *eventHeap) less(i, j int) bool {
-	if h.es[i].at != h.es[j].at {
-		return h.es[i].at < h.es[j].at
+// eventBefore reports whether a fires before b: (at, seq) lexicographic,
+// and seq is unique, so this is a total order.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h.es[i].seq < h.es[j].seq
+	return a.seq < b.seq
 }
 
+// push inserts e, sifting a hole up instead of swapping: each step copies
+// one parent down, and e lands once.
 func (h *eventHeap) push(e event) {
 	h.es = append(h.es, e)
 	i := len(h.es) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if !h.less(i, p) {
+		if !eventBefore(&e, &h.es[p]) {
 			break
 		}
-		h.es[i], h.es[p] = h.es[p], h.es[i]
+		h.es[i] = h.es[p]
 		i = p
 	}
+	h.es[i] = e
 }
 
+// pop removes the minimum, sifting the displaced tail element down through
+// a hole. The vacated tail slot is zeroed so it cannot leak a stale event:
+// heap elements are pointer-free, but the invariant keeps the leak fixed if
+// a reference-carrying field is ever added back (closures themselves are
+// released by Machine.freeCallback when their slot retires).
 func (h *eventHeap) pop() event {
 	top := h.es[0]
 	last := len(h.es) - 1
-	h.es[0] = h.es[last]
+	e := h.es[last]
+	h.es[last] = event{}
 	h.es = h.es[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < last && h.less(l, small) {
-			small = l
+	if last > 0 {
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= last {
+				break
+			}
+			if r := c + 1; r < last && eventBefore(&h.es[r], &h.es[c]) {
+				c = r
+			}
+			if !eventBefore(&h.es[c], &e) {
+				break
+			}
+			h.es[i] = h.es[c]
+			i = c
 		}
-		if r < last && h.less(r, small) {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		h.es[i], h.es[small] = h.es[small], h.es[i]
-		i = small
+		h.es[i] = e
 	}
 	return top
 }

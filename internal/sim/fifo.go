@@ -17,11 +17,72 @@ type FIFO struct {
 }
 
 type fifoRQ struct {
+	// queue[head:] are the waiting threads in FIFO order. Popping advances
+	// head (the slot is nil'd) and the backing array is compacted in
+	// amortized batches, so dispatch is O(1) and steady state allocates
+	// nothing.
 	queue []*Thread
+	head  int
 	// load counts runnable threads including the running one.
 	load int
 	// sliceLeft tracks the current thread's remaining quantum.
 	sliceLeft time.Duration
+}
+
+func (rq *fifoRQ) size() int { return len(rq.queue) - rq.head }
+
+// popHead removes and returns the oldest waiting thread.
+func (rq *fifoRQ) popHead() *Thread {
+	t := rq.queue[rq.head]
+	rq.queue[rq.head] = nil
+	rq.head++
+	rq.compact()
+	return t
+}
+
+// pushHead prepends a thread (preempted threads resume first).
+func (rq *fifoRQ) pushHead(t *Thread) {
+	if rq.head > 0 {
+		rq.head--
+		rq.queue[rq.head] = t
+		return
+	}
+	rq.queue = append(rq.queue, nil)
+	copy(rq.queue[1:], rq.queue)
+	rq.queue[0] = t
+}
+
+// remove unlinks an arbitrary queued thread, reporting whether it was
+// found.
+func (rq *fifoRQ) remove(t *Thread) bool {
+	for i := rq.head; i < len(rq.queue); i++ {
+		if rq.queue[i] == t {
+			copy(rq.queue[i:], rq.queue[i+1:])
+			rq.queue[len(rq.queue)-1] = nil
+			rq.queue = rq.queue[:len(rq.queue)-1]
+			rq.compact()
+			return true
+		}
+	}
+	return false
+}
+
+// compact reclaims the popped prefix: immediately when the queue empties,
+// otherwise once the dead prefix dominates the backing array (amortized
+// O(1) per pop).
+func (rq *fifoRQ) compact() {
+	switch {
+	case rq.head == len(rq.queue):
+		rq.queue = rq.queue[:0]
+		rq.head = 0
+	case rq.head >= 32 && rq.head*2 >= len(rq.queue):
+		n := copy(rq.queue, rq.queue[rq.head:])
+		for i := n; i < len(rq.queue); i++ {
+			rq.queue[i] = nil
+		}
+		rq.queue = rq.queue[:n]
+		rq.head = 0
+	}
 }
 
 // NewFIFO returns a FIFO scheduler with the default quantum.
@@ -42,6 +103,10 @@ func (f *FIFO) Attach(m *Machine) {
 // TickPeriod implements Scheduler.
 func (f *FIFO) TickPeriod() time.Duration { return time.Millisecond }
 
+// NeedsIdleTick implements Scheduler: idle cores retry stealing from Tick,
+// so suppressing idle ticks would change when work is picked up.
+func (f *FIFO) NeedsIdleTick() bool { return true }
+
 // Enqueue implements Scheduler.
 func (f *FIFO) Enqueue(c *Core, t *Thread, flags int) {
 	rq := &f.rqs[c.ID]
@@ -56,13 +121,9 @@ func (f *FIFO) Dequeue(c *Core, t *Thread, flags int) {
 	if c.Curr == t {
 		return // running threads are not in the queue
 	}
-	for i, q := range rq.queue {
-		if q == t {
-			rq.queue = append(rq.queue[:i], rq.queue[i+1:]...)
-			return
-		}
+	if !rq.remove(t) {
+		panic("fifo: dequeue of unknown thread")
 	}
-	panic("fifo: dequeue of unknown thread")
 }
 
 // Yield implements Scheduler.
@@ -71,11 +132,10 @@ func (f *FIFO) Yield(c *Core, t *Thread) {}
 // PickNext implements Scheduler.
 func (f *FIFO) PickNext(c *Core) *Thread {
 	rq := &f.rqs[c.ID]
-	if len(rq.queue) == 0 {
+	if rq.size() == 0 {
 		return nil
 	}
-	t := rq.queue[0]
-	rq.queue = rq.queue[1:]
+	t := rq.popHead()
 	rq.sliceLeft = f.Slice
 	return t
 }
@@ -84,7 +144,7 @@ func (f *FIFO) PickNext(c *Core) *Thread {
 func (f *FIFO) PutPrev(c *Core, t *Thread, flags int) {
 	rq := &f.rqs[c.ID]
 	if flags&FlagPreempted != 0 {
-		rq.queue = append([]*Thread{t}, rq.queue...)
+		rq.pushHead(t)
 		return
 	}
 	rq.queue = append(rq.queue, t)
@@ -118,7 +178,7 @@ func (f *FIFO) Tick(c *Core, curr *Thread) {
 	}
 	rq := &f.rqs[c.ID]
 	rq.sliceLeft -= f.TickPeriod()
-	if rq.sliceLeft <= 0 && len(rq.queue) > 0 {
+	if rq.sliceLeft <= 0 && rq.size() > 0 {
 		c.NeedResched = true
 	}
 }
@@ -138,7 +198,7 @@ func (f *FIFO) IdleBalance(c *Core) bool {
 		if o == c {
 			continue
 		}
-		if len(f.rqs[i].queue) > most-1 && f.rqs[i].load > most {
+		if f.rqs[i].size() > most-1 && f.rqs[i].load > most {
 			victim, most = o, f.rqs[i].load
 		}
 	}
@@ -147,7 +207,7 @@ func (f *FIFO) IdleBalance(c *Core) bool {
 	}
 	// Steal the oldest queued thread allowed on c.
 	rq := &f.rqs[victim.ID]
-	for _, t := range rq.queue {
+	for _, t := range rq.queue[rq.head:] {
 		if t.CanRunOn(c.ID) {
 			f.m.TraceSteal(c, victim, t)
 			f.m.Migrate(t, victim, c)

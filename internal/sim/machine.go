@@ -27,9 +27,26 @@ type Machine struct {
 	sched Scheduler
 	rng   *Rand
 
-	now  time.Duration
-	heap eventHeap
-	seq  uint64
+	now    time.Duration
+	heap   eventHeap
+	seq    uint64
+	events uint64
+
+	// cbs is the side table of generic/periodic callbacks, referenced from
+	// heap events by handle; cbFree heads its freelist (-1 = empty).
+	cbs    []callback
+	cbFree int32
+
+	// tickPeriod caches the scheduler's tick period; idleTicks records
+	// whether idle cores keep ticking (scheduler capability or the
+	// ForceIdleTicks option) or have their ticks parked.
+	tickPeriod time.Duration
+	idleTicks  bool
+	// curArmed/curSeq describe the event currently being dispatched: when
+	// it was scheduled and its sequence number (tick re-arm ordering,
+	// Core.nextGridTick).
+	curArmed time.Duration
+	curSeq   uint64
 
 	threads []*Thread
 	nextTID int
@@ -53,6 +70,10 @@ type Options struct {
 	// TraceCapacity bounds retained trace records (counts are always
 	// exact); default 0 retains counts only.
 	TraceCapacity int
+	// ForceIdleTicks keeps per-core ticks firing on idle cores even when
+	// the scheduler reports NeedsIdleTick() == false — the pre-tickless
+	// engine semantics, kept for cross-validation tests and A/B timing.
+	ForceIdleTicks bool
 }
 
 // NewMachine builds a machine with the given topology and scheduler and
@@ -73,12 +94,14 @@ func NewMachine(tp *topo.Topology, sched Scheduler, opts Options) *Machine {
 		sched:    sched,
 		rng:      newRand(opts.Seed),
 		nextTID:  1,
+		cbFree:   -1,
 	}
 	m.Cores = make([]*Core, tp.NCores())
 	for i := range m.Cores {
 		m.Cores[i] = &Core{ID: i, mach: m, wasIdle: true}
 	}
 	sched.Attach(m)
+	m.idleTicks = opts.ForceIdleTicks || sched.NeedsIdleTick()
 	m.startTicks()
 	return m
 }
@@ -103,30 +126,113 @@ func (m *Machine) LiveThreads() int { return m.live }
 // context. Schedulers use it to bill placement work to the waking CPU.
 func (m *Machine) ExecCore() *Core { return m.execCore }
 
-// At schedules fn at absolute simulated time at (clamped to now).
-func (m *Machine) At(at time.Duration, fn func()) {
-	if at < m.now {
-		at = m.now
+// schedule clamps the event to now, stamps its sequence number, and pushes
+// it. Every event enters the heap through here, so equal-time events fire
+// in scheduling order.
+func (m *Machine) schedule(e event) {
+	if e.at < m.now {
+		e.at = m.now
 	}
 	m.seq++
-	m.heap.push(event{at: at, seq: m.seq, fn: fn})
+	e.seq = m.seq
+	e.armed = m.now
+	m.heap.push(e)
+}
+
+// newCallback takes a free callback slot, growing the side table only when
+// the freelist is empty.
+func (m *Machine) newCallback() int32 {
+	if i := m.cbFree; i >= 0 {
+		m.cbFree = m.cbs[i].next
+		m.cbs[i].next = -1
+		return i
+	}
+	m.cbs = append(m.cbs, callback{next: -1})
+	return int32(len(m.cbs) - 1)
+}
+
+// freeCallback clears the slot — releasing the captured closure — and
+// returns it to the freelist.
+func (m *Machine) freeCallback(i int32) {
+	m.cbs[i] = callback{next: m.cbFree}
+	m.cbFree = i
+}
+
+// At schedules fn at absolute simulated time at (clamped to now).
+func (m *Machine) At(at time.Duration, fn func()) {
+	h := m.newCallback()
+	m.cbs[h].fn = fn
+	m.schedule(event{at: at, kind: evGeneric, id: h})
 }
 
 // After schedules fn d from now.
 func (m *Machine) After(d time.Duration, fn func()) { m.At(m.now+d, fn) }
 
 // Every schedules fn at start and then every period while fn returns true.
+// The registration occupies one callback slot for its whole lifetime;
+// re-arming is allocation-free.
 func (m *Machine) Every(start, period time.Duration, fn func() bool) {
 	if period <= 0 {
 		panic("sim: Every with non-positive period")
 	}
-	var rearm func()
-	rearm = func() {
-		if fn() {
-			m.After(period, rearm)
+	h := m.newCallback()
+	m.cbs[h].pfn = fn
+	m.cbs[h].period = period
+	m.schedule(event{at: start, kind: evPeriodic, id: h})
+}
+
+// fire dispatches one popped event to its handler.
+func (m *Machine) fire(e *event) {
+	switch e.kind {
+	case evBurstEnd:
+		c := m.Cores[e.id]
+		if c.burstToken != e.token {
+			return
 		}
+		t := m.threads[e.tid-1]
+		if c.Curr != t {
+			return
+		}
+		c.flushRun()
+		if t.opRemaining > 0 {
+			// A charge pushed the burst out; re-arm.
+			m.scheduleBurstEnd(c)
+			return
+		}
+		m.completeOpNow(c, t)
+	case evTick:
+		m.fireTick(m.Cores[e.id], e.token)
+	case evSleepWake:
+		t := m.threads[e.tid-1]
+		if t.sleepToken == e.token && t.state == StateSleeping {
+			m.Wake(t)
+		}
+	case evPeriodic:
+		// Index the side table afresh around the call: the callback may
+		// register new timers and grow it.
+		if m.cbs[e.id].pfn() {
+			m.schedule(event{at: m.now + m.cbs[e.id].period, kind: evPeriodic, id: e.id})
+		} else {
+			m.freeCallback(e.id)
+		}
+	default:
+		fn := m.cbs[e.id].fn
+		m.freeCallback(e.id)
+		fn()
 	}
-	m.At(start, rearm)
+}
+
+// EventsProcessed returns how many events the machine has dispatched — the
+// engine-throughput numerator of the perf harness.
+func (m *Machine) EventsProcessed() uint64 { return m.events }
+
+// endRun marks the machine as outside event dispatch: anything happening
+// now — workload installed between Run windows, direct Wake calls — counts
+// as armed at the current instant, after every dispatched event, for tick
+// re-arm ordering (Core.nextGridTick).
+func (m *Machine) endRun() {
+	m.curArmed = m.now
+	m.curSeq = m.seq
 }
 
 // Run processes events until the clock reaches until.
@@ -137,7 +243,9 @@ func (m *Machine) Run(until time.Duration) {
 		}
 		e := m.heap.pop()
 		m.now = e.at
-		e.fn()
+		m.events++
+		m.curArmed, m.curSeq = e.armed, e.seq
+		m.fire(&e)
 	}
 	if m.now < until {
 		m.now = until
@@ -145,6 +253,7 @@ func (m *Machine) Run(until time.Duration) {
 	for _, c := range m.Cores {
 		c.flushRun()
 	}
+	m.endRun()
 }
 
 // RunUntil processes events until pred returns true or the clock reaches
@@ -152,6 +261,7 @@ func (m *Machine) Run(until time.Duration) {
 func (m *Machine) RunUntil(pred func() bool, max time.Duration) bool {
 	for m.heap.len() > 0 {
 		if pred() {
+			m.endRun()
 			return true
 		}
 		if m.heap.es[0].at > max {
@@ -159,7 +269,9 @@ func (m *Machine) RunUntil(pred func() bool, max time.Duration) bool {
 		}
 		e := m.heap.pop()
 		m.now = e.at
-		e.fn()
+		m.events++
+		m.curArmed, m.curSeq = e.armed, e.seq
+		m.fire(&e)
 	}
 	done := pred()
 	if m.now < max && !done {
@@ -168,6 +280,7 @@ func (m *Machine) RunUntil(pred func() bool, max time.Duration) bool {
 	for _, c := range m.Cores {
 		c.flushRun()
 	}
+	m.endRun()
 	return done
 }
 
@@ -212,6 +325,7 @@ func (m *Machine) spawn(name, group string, nice int, prog Program, parent *Thre
 		state:  StateNew,
 		ExitWQ: NewWaitQueue(name + ".exit"),
 	}
+	t.ctx = Ctx{T: t, M: m}
 	if parent != nil {
 		t.Pinned = append([]int(nil), parent.Pinned...)
 	} else if m.pendingPin != nil {
@@ -327,11 +441,21 @@ func (m *Machine) SetPinned(t *Thread, cores []int) {
 // RunnableCounts samples NrRunnable for every core — the y-axis of the
 // paper's Figures 6 and 7.
 func (m *Machine) RunnableCounts() []int {
-	out := make([]int, len(m.Cores))
-	for i, c := range m.Cores {
-		out[i] = m.sched.NrRunnable(c)
+	return m.RunnableCountsInto(nil)
+}
+
+// RunnableCountsInto is RunnableCounts sampling into buf, reusing its
+// backing array when it is large enough — for tight sampling loops (the
+// fig6/fig7 probes run every 250 simulated ms).
+func (m *Machine) RunnableCountsInto(buf []int) []int {
+	if cap(buf) < len(m.Cores) {
+		buf = make([]int, len(m.Cores))
 	}
-	return out
+	buf = buf[:len(m.Cores)]
+	for i, c := range m.Cores {
+		buf[i] = m.sched.NrRunnable(c)
+	}
+	return buf
 }
 
 // ChargeSched bills d of scheduler work to core c (or the exec core when c
@@ -482,26 +606,18 @@ func (m *Machine) start(c *Core, t *Thread) {
 	m.advance(c, t)
 }
 
-// scheduleBurstEnd arms the burst-end event for c's current thread.
+// scheduleBurstEnd arms the burst-end event for c's current thread. The
+// event is typed and carries only (core, thread, token), so this per-burst
+// hot path allocates nothing.
 func (m *Machine) scheduleBurstEnd(c *Core) {
 	t := c.Curr
 	c.burstToken++
-	token := c.burstToken
-	at := c.runStart + t.opRemaining
-	if at < m.now {
-		at = m.now
-	}
-	m.At(at, func() {
-		if c.burstToken != token || c.Curr != t {
-			return
-		}
-		c.flushRun()
-		if t.opRemaining > 0 {
-			// A charge pushed the burst out; re-arm.
-			m.scheduleBurstEnd(c)
-			return
-		}
-		m.completeOpNow(c, t)
+	m.schedule(event{
+		at:    c.runStart + t.opRemaining,
+		kind:  evBurstEnd,
+		id:    int32(c.ID),
+		tid:   int32(t.ID),
+		token: c.burstToken,
 	})
 }
 
@@ -520,7 +636,7 @@ func (m *Machine) completeOpNow(c *Core, t *Thread) {
 // advance asks t's program for ops until one consumes time or changes
 // state. It runs with t current on c.
 func (m *Machine) advance(c *Core, t *Thread) {
-	ctx := &Ctx{T: t, M: m}
+	ctx := &t.ctx
 	for {
 		c.inBoundary = true
 		prevExec := m.execCore
@@ -647,12 +763,7 @@ func (m *Machine) sleepCurrent(c *Core, t *Thread, d time.Duration) {
 	t.state = StateSleeping
 	t.sleepStart = m.now
 	t.sleepToken++
-	token := t.sleepToken
-	m.After(d, func() {
-		if t.sleepToken == token && t.state == StateSleeping {
-			m.Wake(t)
-		}
-	})
+	m.schedule(event{at: m.now + d, kind: evSleepWake, tid: int32(t.ID), token: t.sleepToken})
 	if c.Curr == nil {
 		m.dispatch(c)
 	}
@@ -705,7 +816,11 @@ func (m *Machine) stopCurrent(c *Core, t *Thread, flags int) {
 }
 
 // startTicks arms the per-core periodic scheduler tick, staggered so cores
-// do not tick in lockstep.
+// do not tick in lockstep. When the scheduler reports NeedsIdleTick() ==
+// false (and ForceIdleTicks is off), idle cores are tickless: their tick is
+// parked while idle and re-armed on markBusy at the next point of the
+// core's original staggered grid, so tick times on busy cores are
+// bit-identical to an always-ticking machine.
 func (m *Machine) startTicks() {
 	if m.ticksOn {
 		return
@@ -715,24 +830,64 @@ func (m *Machine) startTicks() {
 	if period <= 0 {
 		panic("sim: scheduler TickPeriod must be positive")
 	}
+	m.tickPeriod = period
 	for i := range m.Cores {
 		c := m.Cores[i]
-		offset := period * time.Duration(i) / time.Duration(len(m.Cores))
-		var tick func()
-		tick = func() {
-			c.flushRun()
-			m.sched.Tick(c, c.Curr)
-			if c.NeedResched {
-				c.NeedResched = false
-				if c.Curr != nil {
-					m.deschedule(c, 0)
-					m.dispatch(c)
-				}
-			}
-			m.After(period, tick)
+		c.tickOffset = period * time.Duration(i) / time.Duration(len(m.Cores))
+		if m.idleTicks {
+			m.armTick(c, c.tickOffset+period)
+		} else {
+			// Cores start idle; the first markBusy arms the tick on the
+			// core's grid.
+			c.tickParked = true
 		}
-		m.At(offset+period, tick)
 	}
+}
+
+// armTick schedules c's next tick at the absolute time at, superseding any
+// in-flight tick event for the core.
+func (m *Machine) armTick(c *Core, at time.Duration) {
+	c.tickToken++
+	c.tickAt = at
+	m.schedule(event{at: at, kind: evTick, id: int32(c.ID), token: c.tickToken})
+}
+
+// fireTick runs one scheduler tick on c and re-arms or parks the next one.
+func (m *Machine) fireTick(c *Core, token uint64) {
+	if token != c.tickToken {
+		// Superseded: the core parked or re-armed since. If this is the
+		// parked tick popping at the first suppressed grid point, remember
+		// the sequence watermark — the position the always-ticking idle
+		// tick would have fired at (Core.nextGridTick's tie-break). After
+		// a park/re-arm/re-park cycle several superseded ticks can pop at
+		// the same grid point; only the earliest-armed one corresponds to
+		// the always-ticking engine's single tick chain, so later pops
+		// must not overwrite the watermark.
+		if c.tickParked && m.now == c.parkAt && c.parkWatermark == 0 {
+			c.parkWatermark = m.seq
+		}
+		return
+	}
+	c.lastTick = m.now
+	c.flushRun()
+	m.sched.Tick(c, c.Curr)
+	if c.NeedResched {
+		c.NeedResched = false
+		if c.Curr != nil {
+			m.deschedule(c, 0)
+			m.dispatch(c)
+		}
+	}
+	if !m.idleTicks && c.Curr == nil {
+		// Defensive: normally markIdle parks first (and the token check
+		// above drops this event). Refresh the park state so a later
+		// nextGridTick tie-break cannot read stale values.
+		c.tickParked = true
+		c.parkAt = m.now + m.tickPeriod
+		c.parkWatermark = 0
+		return
+	}
+	m.armTick(c, m.now+m.tickPeriod)
 }
 
 func threadID(t *Thread) int {

@@ -37,6 +37,21 @@ type Scheduler interface {
 	// (Linux: 1 ms at HZ=1000; FreeBSD: 1/127 s at stathz=127).
 	TickPeriod() time.Duration
 
+	// NeedsIdleTick reports whether Tick must keep firing on idle cores.
+	// Schedulers that do periodic work from the idle tick — steal retries,
+	// periodic balancing, calendar rotation — return true and observe ticks
+	// exactly as on an always-ticking machine. When false, the engine parks
+	// an idle core's tick and re-arms it on the core's original staggered
+	// grid when the core next becomes busy: busy-core tick times are
+	// bit-identical either way (a wake landing exactly on a grid point
+	// reproduces always-ticking event order from the waking event's arming
+	// time, with the first suppressed grid point's sequence watermark
+	// breaking the exact tie; an event armed exactly on a suppressed grid
+	// point deeper in a parked window counts as armed after that point's
+	// idle tick), and Tick is never invoked with a nil curr. Returning
+	// false therefore requires that the scheduler's idle tick be a no-op.
+	NeedsIdleTick() bool
+
 	// Enqueue makes t runnable on c (enqueue_task / sched_add+sched_wakeup;
 	// flags distinguish the two FreeBSD entry points as the port does).
 	Enqueue(c *Core, t *Thread, flags int)

@@ -108,6 +108,11 @@ type Thread struct {
 	sleepToken uint64
 	wq         *WaitQueue // wait queue we are blocked on, if any
 
+	// ctx is the thread's reusable Program context, so operation
+	// boundaries allocate nothing; nested advances (a forked child
+	// dispatching inside the parent's Next) each use their own thread's.
+	ctx Ctx
+
 	// spinWQ is the queue this thread's active Spin op watches.
 	spinWQ *WaitQueue
 

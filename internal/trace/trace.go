@@ -82,15 +82,16 @@ type Buffer struct {
 	cap    int
 	events []Event
 	counts [numKinds]uint64
-	// perThread counts preemptions per thread, needed for the apache
-	// analysis; only grows for threads that are actually preempted.
-	preemptPerThread map[int]uint64
+	// preemptPerThread counts preemptions per thread, needed for the apache
+	// analysis. Thread IDs are dense, so a lazily-grown slice indexed by ID
+	// replaces the former map, keeping hashing out of the per-preempt path.
+	preemptPerThread []uint64
 }
 
 // New returns a buffer retaining at most capacity full event records.
 // capacity <= 0 keeps counts only.
 func New(capacity int) *Buffer {
-	return &Buffer{cap: capacity, preemptPerThread: make(map[int]uint64)}
+	return &Buffer{cap: capacity}
 }
 
 // Record adds an event.
@@ -98,7 +99,12 @@ func (b *Buffer) Record(e Event) {
 	if int(e.Kind) < len(b.counts) {
 		b.counts[e.Kind]++
 	}
-	if e.Kind == Preempt {
+	if e.Kind == Preempt && e.Thread >= 0 {
+		if e.Thread >= len(b.preemptPerThread) {
+			grown := make([]uint64, max(e.Thread+1, 2*len(b.preemptPerThread)))
+			copy(grown, b.preemptPerThread)
+			b.preemptPerThread = grown
+		}
 		b.preemptPerThread[e.Thread]++
 	}
 	if len(b.events) < b.cap {
@@ -116,7 +122,12 @@ func (b *Buffer) Count(k Kind) uint64 {
 }
 
 // PreemptionsOf returns how many times thread id was preempted.
-func (b *Buffer) PreemptionsOf(id int) uint64 { return b.preemptPerThread[id] }
+func (b *Buffer) PreemptionsOf(id int) uint64 {
+	if id < 0 || id >= len(b.preemptPerThread) {
+		return 0
+	}
+	return b.preemptPerThread[id]
+}
 
 // Events returns the retained event records (oldest first). The returned
 // slice must not be modified.

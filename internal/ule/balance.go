@@ -94,6 +94,13 @@ func (s *Sched) stealableFrom(donor, receiver int) *sim.Thread {
 // something is found — "the idle stealing mechanism steals at most one
 // thread".
 func (s *Sched) IdleBalance(c *sim.Core) bool {
+	// Fast path: stealing needs a victim with load >= StealThresh. While no
+	// core is that loaded the widening scan below finds nothing and has no
+	// side effects, so skip it — the common case on mostly-idle machines,
+	// where every idle core retries this scan on every tick.
+	if s.loaded == 0 {
+		return false
+	}
 	for _, level := range []topo.Level{topo.LevelLLC, topo.LevelNUMA, topo.LevelMachine} {
 		victim := -1
 		most := s.P.StealThresh - 1

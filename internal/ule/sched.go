@@ -15,6 +15,13 @@ type Sched struct {
 
 	m    *sim.Machine
 	tdqs []*tdq
+
+	// stealThresh caches P.StealThresh (floored at 1); loaded counts the
+	// tdqs whose load reaches it. While loaded is zero the idle-steal scan
+	// provably finds no victim, so IdleBalance — which every idle core
+	// retries on every tick — short-circuits without touching the topology.
+	stealThresh int
+	loaded      int
 }
 
 // tdq is the per-core queue state (struct tdq).
@@ -69,6 +76,11 @@ func (s *Sched) Name() string { return "ule" }
 // TickPeriod implements sim.Scheduler: stathz = 127.
 func (s *Sched) TickPeriod() time.Duration { return tickPeriod }
 
+// NeedsIdleTick implements sim.Scheduler: idle cores retry tdq_idled steals
+// and rotate the timeshare calendar from Tick, so ULE opts in to idle
+// ticks.
+func (s *Sched) NeedsIdleTick() bool { return true }
+
 // Attach implements sim.Scheduler: build per-core queues and arm the core-0
 // periodic balancer.
 func (s *Sched) Attach(m *sim.Machine) {
@@ -76,6 +88,10 @@ func (s *Sched) Attach(m *sim.Machine) {
 	s.tdqs = make([]*tdq, len(m.Cores))
 	for i, c := range m.Cores {
 		s.tdqs[i] = &tdq{core: c}
+	}
+	s.stealThresh = s.P.StealThresh
+	if s.stealThresh < 1 {
+		s.stealThresh = 1
 	}
 	if s.P.FixBalancerBug {
 		s.armBalancer()
@@ -189,6 +205,9 @@ func (s *Sched) Enqueue(c *sim.Core, t *sim.Thread, flags int) {
 		q.timeshare.Add(&d.entry, s.batchQueuePri(d))
 	}
 	q.load++
+	if q.load == s.stealThresh {
+		s.loaded++
+	}
 	// sched_setpreempt: only wakeups performed from this core's own
 	// context (syscall or local interrupt) mark the running thread for a
 	// reschedule at the next tick.
@@ -228,6 +247,9 @@ func (s *Sched) Dequeue(c *sim.Core, t *sim.Thread, flags int) {
 	q.load--
 	if q.load < 0 {
 		panic("ule: negative load")
+	}
+	if q.load == s.stealThresh-1 {
+		s.loaded--
 	}
 }
 
