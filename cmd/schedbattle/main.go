@@ -1,15 +1,20 @@
 // Command schedbattle reproduces the paper's evaluation artifacts: it runs
 // any registered experiment (figures 1-9, table 2, the §6.3 overhead
 // analysis, and the ablations) and prints the same rows/series the paper
-// reports. Experiment trial grids execute on a worker pool (-jobs wide);
-// output is byte-identical whatever the pool width.
+// reports. It also runs declarative scenarios — JSON specs sweeping
+// workload mixes over cores × scales × schedulers × seeds — either bundled
+// in the binary or loaded from a file. Trial grids execute on a worker
+// pool (-jobs wide); output is byte-identical whatever the pool width.
 //
 // Usage:
 //
 //	schedbattle -list
 //	schedbattle -run table2 -jobs 8
 //	schedbattle -run fig6 -scale 0.25 -series /tmp/fig6
-//	schedbattle -all -scale 0.2 -jobs 16 -seed 7
+//	schedbattle -all -scale 0.2 -jobs 16 -seed 7 -out results.json
+//	schedbattle -scenarios
+//	schedbattle -scenario web-tail -scale 0.1 -out report.json
+//	schedbattle -scenario my-scenario.json
 //	schedbattle -perf
 package main
 
@@ -20,9 +25,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -34,6 +41,9 @@ func main() {
 		seriesDir = flag.String("series", "", "directory to write gnuplot series files into")
 		jobs      = flag.Int("jobs", runtime.GOMAXPROCS(0), "trial-grid worker pool width")
 		seed      = flag.Int64("seed", 0, "base-seed perturbation for every trial (0 = the paper-tuned seeds)")
+		out       = flag.String("out", "", "write a structured JSON report to this file (\"-\" = stdout)")
+		scen      = flag.String("scenario", "", "run a scenario: bundled name or path to a .json spec")
+		scenList  = flag.Bool("scenarios", false, "list bundled scenarios and exit")
 		perf      = flag.Bool("perf", false, "run the engine perf harness and write -perf-out")
 		perfOut   = flag.String("perf-out", "BENCH_engine.json", "engine perf harness output file")
 	)
@@ -55,8 +65,29 @@ func main() {
 		return
 	}
 
+	if *scenList {
+		if err := listScenarios(); err != nil {
+			fmt.Fprintf(os.Stderr, "schedbattle: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if !(*scale > 0 && *scale <= 1) {
+		fmt.Fprintf(os.Stderr, "schedbattle: -scale %g out of range: must be in (0, 1]\n", *scale)
+		os.Exit(2)
+	}
+
 	runner.SetWorkers(*jobs)
 	core.SetBaseSeed(*seed)
+
+	if *scen != "" {
+		if err := runScenario(*scen, *scale, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "schedbattle: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var ids []string
 	switch {
@@ -67,44 +98,86 @@ func main() {
 	case *run != "":
 		ids = []string{*run}
 	default:
-		fmt.Fprintln(os.Stderr, "schedbattle: need -run <id>, -all, -perf, or -list")
+		fmt.Fprintln(os.Stderr, "schedbattle: need -run <id>, -all, -scenario, -scenarios, -perf, or -list")
 		flag.Usage()
 		os.Exit(2)
 	}
 
+	// With -out -, the JSON report owns stdout; the human-readable result
+	// text moves to stderr so piping into a JSON consumer just works.
+	text := os.Stdout
+	if *out == "-" {
+		text = os.Stderr
+	}
+
 	// Run every requested experiment even if one fails; report a combined
 	// non-zero exit at the end so a sweep surfaces all failures at once.
-	var failed []string
+	var (
+		failed  []string
+		outErr  bool
+		reports []scenario.ExperimentReport
+	)
 	for _, id := range ids {
-		if err := runExperiment(id, *scale, *seriesDir); err != nil {
+		res, err := runExperiment(id, *scale, *seriesDir, text)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "schedbattle: %s: %v\n", id, err)
 			failed = append(failed, id)
+			continue
+		}
+		reports = append(reports, scenario.FromResult(res))
+	}
+	if *out != "" {
+		rep := scenario.ExperimentsReport{
+			Schema:      scenario.ExperimentsSchema,
+			Scale:       *scale,
+			BaseSeed:    *seed,
+			Experiments: reports,
+		}
+		if err := scenario.WriteReport(*out, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "schedbattle: writing %s: %v\n", *out, err)
+			outErr = true
+		} else if *out != "-" {
+			fmt.Fprintf(os.Stderr, "schedbattle: wrote %s\n", *out)
 		}
 	}
 	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "schedbattle: %d of %d experiments failed: %v\n", len(failed), len(ids), failed)
+	}
+	if len(failed) > 0 || outErr {
 		os.Exit(1)
 	}
 }
 
-// runExperiment executes one experiment, converting a driver panic into an
-// error so one failing artifact doesn't abort the rest of a sweep.
-func runExperiment(id string, scale float64, seriesDir string) (err error) {
+// experimentIDs lists every registered experiment id.
+func experimentIDs() []string {
+	var ids []string
+	for _, e := range core.Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// runExperiment executes one experiment, printing the text result to text
+// and converting a driver panic into an error so one failing artifact
+// doesn't abort the rest of a sweep.
+func runExperiment(id string, scale float64, seriesDir string, text *os.File) (res *core.Result, err error) {
 	e, err := core.ByID(id)
 	if err != nil {
-		return err
+		return nil, fmt.Errorf("%w (available: %s)", err, strings.Join(experimentIDs(), ", "))
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("experiment panicked: %v", r)
+			res, err = nil, fmt.Errorf("experiment panicked: %v", r)
 		}
 	}()
-	res := e.Run(scale)
-	fmt.Println(res)
+	res = e.Run(scale)
+	fmt.Fprintln(text, res)
 	if seriesDir != "" {
-		return writeSeries(seriesDir, res)
+		if err := writeSeries(seriesDir, res); err != nil {
+			return nil, err
+		}
 	}
-	return nil
+	return res, nil
 }
 
 // writeSeries dumps every series of a result as "<dir>/<id>-<set>-<name>.dat"

@@ -1,0 +1,56 @@
+package main
+
+// The scenario CLI glue: `schedbattle -scenarios` lists the bundled
+// library, `-scenario <name|file.json>` compiles a spec into a trial grid,
+// runs it on the worker pool, and writes the structured JSON report.
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+// listScenarios prints the bundled library, one scenario per line.
+func listScenarios() error {
+	specs, err := scenario.Builtin()
+	if err != nil {
+		return err
+	}
+	for _, sp := range specs {
+		fmt.Printf("%-16s %s\n", sp.Name, sp.Description)
+	}
+	fmt.Println("\nrun one with: schedbattle -scenario <name> [-scale 0.1] [-out report.json]")
+	return nil
+}
+
+// runScenario loads, runs, and reports one scenario. The report goes to
+// outPath ("" or "-" = stdout); a one-line summary per trial goes to
+// stderr so a redirected stdout stays pure JSON.
+func runScenario(nameOrPath string, scale float64, outPath string) error {
+	sp, err := scenario.Load(nameOrPath)
+	if err != nil {
+		return err
+	}
+	rep, err := sp.Run(scale)
+	if err != nil {
+		return err
+	}
+	for _, tr := range rep.Trials {
+		line := fmt.Sprintf("%-36s events=%d", tr.Name, tr.Events)
+		if tr.Throughput != nil {
+			line += fmt.Sprintf("  ops=%d (%.4g/s)", tr.Throughput.TotalOps, tr.Throughput.OpsPerSec)
+		}
+		if tr.Latency != nil {
+			line += fmt.Sprintf("  p50=%.4gus p99=%.4gus", tr.Latency.P50US, tr.Latency.P99US)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if err := scenario.WriteReport(outPath, rep); err != nil {
+		return fmt.Errorf("writing report: %w", err)
+	}
+	if outPath != "" && outPath != "-" {
+		fmt.Fprintf(os.Stderr, "schedbattle: wrote %s\n", outPath)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+// Scenario engine: build a declarative scenario in code (the same Spec the
+// JSON files describe), run its sweep on the worker pool, and read the
+// structured report — tail latency per scheduler, no experiment driver
+// written.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	// An interactive open-loop stream colocated with a batch farm on 8
+	// cores, swept over both schedulers. scenario.Load("web-tail") would
+	// fetch the bundled equivalent; building the Spec in code shows the
+	// schema is just data.
+	spec := &scenario.Spec{
+		Name:        "example",
+		Description: "open-loop web stream vs batch loops, built programmatically",
+		Machine:     scenario.MachineSpec{Cores: []int{8}},
+		Schedulers:  []scenario.SchedSpec{{Kind: "cfs"}, {Kind: "ule"}},
+		Window:      scenario.Dur(2_000_000_000), // 2s, or scenario.Dur(2*time.Second)
+		Workload: []scenario.Entry{
+			{Name: "web", OpenLoop: &scenario.OpenLoopSpec{
+				Workers: 16, Rate: 3000, Dist: "poisson",
+				Service: scenario.Dur(200_000), // 200µs
+			}},
+			{Name: "batch", Count: 8, Loop: &scenario.LoopSpec{
+				Burst: scenario.Dur(10_000_000), JitterPct: 10, // 10ms
+			}},
+		},
+	}
+
+	rep, err := spec.Run(1.0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("trial                      p50(us)   p99(us)   ops/s")
+	for _, tr := range rep.Trials {
+		fmt.Printf("%-24s %9.0f %9.0f %9.0f\n",
+			tr.Scheduler, tr.Latency.P50US, tr.Latency.P99US, tr.Throughput.OpsPerSec)
+	}
+	fmt.Println("\nThe open-loop source keeps offering 3000 req/s regardless of how the")
+	fmt.Println("scheduler treats the workers, so queueing delay — not a slowed-down")
+	fmt.Println("client — shows up in the p99. Swap kinds, pin the batch loops, or add")
+	fmt.Println("seeds to the sweep by editing the Spec; no driver code changes.")
+}

@@ -43,6 +43,9 @@ func TestByName(t *testing.T) {
 	if _, err := ByName("fibo"); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := ByName("openweb"); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := ByName("nonesuch"); err == nil {
 		t.Fatal("expected error")
 	}
@@ -74,6 +77,23 @@ func TestEveryAppMakesProgress(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+func TestOpenLoopWebServesAndRecordsLatency(t *testing.T) {
+	m := cfsMachine(topo.Small(), 3)
+	in := OpenLoopWeb(OpenLoopConfig{Rate: 2000}).New(m, Env{Cores: 8})
+	m.Run(ShellWarmup + 3*time.Second)
+	if in.Ops() == 0 {
+		t.Fatal("openweb served no requests")
+	}
+	if in.Latency == nil || in.Latency.Count() == 0 {
+		t.Fatal("openweb recorded no latency samples")
+	}
+	// Offered load is ~2000 req/s over ~3 s; a lightly loaded 8-core box
+	// must complete most of it.
+	if in.Ops() < 4000 {
+		t.Fatalf("openweb completed %d requests, want ≥4000", in.Ops())
 	}
 }
 

@@ -56,6 +56,9 @@ func ByName(name string) (Spec, error) {
 	if name == "fibo" {
 		return Fibo(), nil
 	}
+	if name == "openweb" {
+		return OpenLoopWeb(OpenLoopConfig{}), nil
+	}
 	return Spec{}, fmt.Errorf("apps: unknown application %q", name)
 }
 

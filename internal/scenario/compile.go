@@ -1,0 +1,350 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/ipc"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// windowFloor is the minimum measured window for app-free scenarios; specs
+// with apps or delayed entries are additionally floored past their latest
+// start so aggressive CLI -scale values cannot scale the workload out of
+// the window entirely.
+const windowFloor = 200 * time.Millisecond
+
+// Compile expands the spec's sweep axes — cores × scales × schedulers ×
+// seeds, in that nesting order — into one core.Trial per cell. cliScale
+// multiplies every spec scale (both must lie in (0,1]). The trials carry
+// everything the report needs; run them with core.RunTrials and hand the
+// outcomes to BuildReport.
+func (s *Spec) Compile(cliScale float64) ([]core.Trial[TrialReport], error) {
+	if !(cliScale > 0 && cliScale <= 1) {
+		return nil, fmt.Errorf("scenario: scale %g out of range (0, 1]", cliScale)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{0}
+	}
+	scales := s.Scales
+	if len(scales) == 0 {
+		scales = []float64{1}
+	}
+	var trials []core.Trial[TrialReport]
+	for _, cores := range s.Machine.Cores {
+		for _, sc := range scales {
+			for _, rs := range s.resolved {
+				for _, seed := range seeds {
+					trials = append(trials, s.buildTrial(cores, rs, sc*cliScale, seed))
+				}
+			}
+		}
+	}
+	return trials, nil
+}
+
+// Run compiles the spec, executes the grid on the shared runner pool, and
+// assembles the report. Results are byte-identical at any pool width.
+func (s *Spec) Run(cliScale float64) (*Report, error) {
+	trials, err := s.Compile(cliScale)
+	if err != nil {
+		return nil, err
+	}
+	return s.report(cliScale, core.RunTrials(trials)), nil
+}
+
+// windowFor scales the measurement window, flooring it so every entry still
+// starts comfortably inside it.
+func (s *Spec) windowFor(scale float64) time.Duration {
+	w := time.Duration(float64(s.Window.D()) * scale)
+	floor := windowFloor
+	for i := range s.Workload {
+		e := &s.Workload[i]
+		start := e.StartAt.D()
+		if e.App != "" && start < apps.ShellWarmup {
+			start = apps.ShellWarmup
+		}
+		if start+windowFloor > floor {
+			floor = start + windowFloor
+		}
+	}
+	if w < floor {
+		w = floor
+	}
+	return w
+}
+
+// entryState is the per-trial measurement state of one workload entry,
+// created when the trial's Workload closure installs the mix and read by
+// its Extract.
+type entryState struct {
+	label   string
+	startAt time.Duration
+	// ops counts primitive work units; app entries count through their
+	// instances instead.
+	ops uint64
+	// hists are the entry's own latency histograms (one per open-loop
+	// queue instance).
+	hists []*stats.Histogram
+	// insts are the entry's app instances.
+	insts []*apps.Instance
+}
+
+// buildTrial assembles the trial for one sweep cell.
+func (s *Spec) buildTrial(cores int, rs resolvedSched, scale float64, seed int64) core.Trial[TrialReport] {
+	window := s.windowFor(scale)
+	name := fmt.Sprintf("%s/c%d/%s/x%s/s%d",
+		s.Name, cores, rs.kind, strconv.FormatFloat(scale, 'g', -1, 64), seed)
+	states := make([]*entryState, len(s.Workload))
+	return core.Trial[TrialReport]{
+		Name: name,
+		Machine: core.MachineConfig{
+			Cores: cores, Kind: rs.kind, Seed: seed,
+			KernelNoise: s.Machine.KernelNoise,
+			ULEParams:   rs.ule, CFSParams: rs.cfs,
+		},
+		Window: window,
+		Workload: func(m *sim.Machine) {
+			for i := range s.Workload {
+				states[i] = s.install(m, i, cores, seed, name)
+			}
+		},
+		Extract: func(m *sim.Machine) TrialReport {
+			return s.extract(m, states, cell{
+				name:  name,
+				cores: cores, kind: rs.kind, scale: scale, seed: seed, window: window,
+			})
+		},
+	}
+}
+
+// install builds workload entry ei on m and returns its measurement state.
+func (s *Spec) install(m *sim.Machine, ei, cores int, seed int64, trialName string) *entryState {
+	e := &s.Workload[ei]
+	st := &entryState{label: e.label(ei), startAt: e.StartAt.D()}
+	count := e.count()
+	switch {
+	case e.App != "":
+		spec, err := apps.ByName(e.App)
+		if err != nil {
+			panic(err) // validated
+		}
+		if st.startAt < apps.ShellWarmup {
+			st.startAt = apps.ShellWarmup
+		}
+		for i := 0; i < count; i++ {
+			st.insts = append(st.insts, spec.New(m, apps.Env{Cores: cores, StartAt: e.StartAt.D()}))
+		}
+
+	case e.Loop != nil:
+		for i := 0; i < count; i++ {
+			startEntryThread(m, e, fmt.Sprintf("%s-%d", st.label, i), st.label,
+				&workload.Loop{
+					Burst: e.Loop.Burst.D(), JitterPct: e.Loop.JitterPct,
+					OnOp: func() { st.ops++ },
+				})
+		}
+
+	case e.Finite != nil:
+		for i := 0; i < count; i++ {
+			startEntryThread(m, e, fmt.Sprintf("%s-%d", st.label, i), st.label,
+				&workload.FiniteCompute{
+					Burst: e.Finite.Burst.D(), JitterPct: e.Finite.JitterPct,
+					N: e.Finite.N, IOSleep: e.Finite.IOSleep.D(),
+					OnOp: func() { st.ops++ },
+				})
+		}
+
+	case e.OpenLoop != nil:
+		ol := e.OpenLoop
+		mean := ol.Interarrival.D()
+		if ol.Rate > 0 {
+			mean = time.Duration(float64(time.Second) / ol.Rate)
+		}
+		dist := workload.ArrivalDist(ol.Dist)
+		if dist == "" {
+			dist = workload.Poisson
+		}
+		// Count spawns independent streams: each instance owns its queue,
+		// worker pool, and arrival generator, so the offered load scales
+		// with count like every other entry kind.
+		for inst := 0; inst < count; inst++ {
+			q := ipc.NewReqQueue(fmt.Sprintf("%s-%d", st.label, inst))
+			st.hists = append(st.hists, q.Latency)
+			for i := 0; i < ol.Workers; i++ {
+				m.StartThreadCfg(sim.ThreadConfig{
+					Name: fmt.Sprintf("%s-%d-w%d", st.label, inst, i), Group: st.label,
+					Nice: e.Nice, Pinned: pinnedCopy(e.Pinned),
+					Prog: &workload.ServerWorker{Q: q, OnDone: func() { st.ops++ }},
+				})
+			}
+			// The arrival stream is a pure function of (trial, entry,
+			// instance): derived from the cell's seed axis value, the CLI
+			// base-seed perturbation, and the entry's place in the spec —
+			// deterministic at any -jobs width, varied by -seed.
+			genSeed := runner.DeriveSeed(seed^core.BaseSeed(),
+				fmt.Sprintf("%s/%s#%d", trialName, st.label, inst), ei)
+			workload.OpenLoop{
+				Q:       q,
+				Gen:     workload.NewArrivalGen(dist, mean, genSeed),
+				Service: ol.Service.D(), ServiceJitterPct: ol.ServiceJitterPct,
+				Start: st.startAt,
+			}.StartOn(m)
+		}
+	}
+	return st
+}
+
+// startEntryThread launches one primitive thread with the entry's pinning,
+// nice value, and start delay.
+func startEntryThread(m *sim.Machine, e *Entry, name, group string, prog sim.Program) {
+	if d := e.StartAt.D(); d > 0 {
+		prog = &delayedProg{d: d, prog: prog}
+	}
+	m.StartThreadCfg(sim.ThreadConfig{
+		Name: name, Group: group, Nice: e.Nice,
+		Pinned: pinnedCopy(e.Pinned), Prog: prog,
+	})
+}
+
+// delayedProg sleeps once, then becomes the wrapped program — a thread-level
+// startAt for primitives.
+type delayedProg struct {
+	d     time.Duration
+	prog  sim.Program
+	slept bool
+}
+
+// Next implements sim.Program.
+func (p *delayedProg) Next(ctx *sim.Ctx) sim.Op {
+	if !p.slept {
+		p.slept = true
+		return sim.Sleep(p.d)
+	}
+	return p.prog.Next(ctx)
+}
+
+func pinnedCopy(p []int) []int {
+	if len(p) == 0 {
+		return nil
+	}
+	return append([]int(nil), p...)
+}
+
+// cell carries one sweep cell's coordinates into extraction.
+type cell struct {
+	name   string
+	cores  int
+	kind   core.SchedulerKind
+	scale  float64
+	seed   int64
+	window time.Duration
+}
+
+// extract reads the trial's outcome into a TrialReport, honouring the
+// spec's metric selection. Everything read here is deterministic state of
+// the (single-threaded, seeded) simulation, so reports are byte-identical
+// however the surrounding grid was scheduled.
+func (s *Spec) extract(m *sim.Machine, states []*entryState, c cell) TrialReport {
+	rep := TrialReport{
+		Name:      c.name,
+		Cores:     c.cores,
+		Scheduler: string(c.kind),
+		Seed:      c.seed,
+		Scale:     c.scale,
+		WindowS:   c.window.Seconds(),
+		Events:    m.EventsProcessed(),
+	}
+
+	merged := &stats.Histogram{}
+	if s.wants(MetricThroughput) || s.wants(MetricLatency) {
+		tp := &ThroughputReport{}
+		for _, st := range states {
+			er := EntryReport{Label: st.label}
+			hist := st.entryLatency()
+			if hist != nil {
+				merged.Merge(hist)
+			}
+			if st.insts != nil {
+				for _, in := range st.insts {
+					er.Ops += in.Ops()
+					er.OpsPerSec += in.Perf()
+				}
+			} else {
+				er.Ops = st.ops
+				if elapsed := (c.window - st.startAt).Seconds(); elapsed > 0 {
+					er.OpsPerSec = float64(st.ops) / elapsed
+				}
+			}
+			if s.wants(MetricLatency) {
+				er.Latency = latencyReport(hist)
+			}
+			tp.TotalOps += er.Ops
+			tp.OpsPerSec += er.OpsPerSec
+			tp.Entries = append(tp.Entries, er)
+		}
+		if s.wants(MetricThroughput) {
+			rep.Throughput = tp
+		}
+	}
+	if s.wants(MetricLatency) {
+		rep.Latency = latencyReport(merged)
+	}
+
+	if s.wants(MetricCounters) {
+		rep.Counters = map[string]uint64{
+			"switches":    m.Trace.Count(trace.Switch),
+			"wakeups":     m.Trace.Count(trace.Wakeup),
+			"migrations":  m.Trace.Count(trace.Migrate),
+			"preemptions": m.Trace.Count(trace.Preempt),
+			"forks":       m.Trace.Count(trace.Fork),
+			"exits":       m.Trace.Count(trace.Exit),
+			"balances":    m.Trace.Count(trace.Balance),
+			"steals":      m.Trace.Count(trace.Steal),
+		}
+		for _, cn := range m.Counters.Names() {
+			rep.Counters[cn] = m.Counters.Value(cn)
+		}
+	}
+
+	if s.wants(MetricUtilization) {
+		rep.CoreUtil = make([]float64, len(m.Cores))
+		for i, co := range m.Cores {
+			rep.CoreUtil[i] = co.Utilization()
+		}
+	}
+	return rep
+}
+
+// entryLatency merges the entry's latency recordings (its own open-loop
+// queues plus any app instances'); nil when the entry records none.
+func (st *entryState) entryLatency() *stats.Histogram {
+	hists := st.hists
+	for _, in := range st.insts {
+		if in.Latency != nil {
+			hists = append(hists, in.Latency)
+		}
+	}
+	switch len(hists) {
+	case 0:
+		return nil
+	case 1:
+		return hists[0]
+	}
+	merged := &stats.Histogram{}
+	for _, h := range hists {
+		merged.Merge(h)
+	}
+	return merged
+}

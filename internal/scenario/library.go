@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"embed"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The bundled scenario library: curated specs embedded in the binary, one
+// JSON file per scenario, exposed through `schedbattle -scenario <name>`
+// and listed by `-scenarios`. They double as executable documentation of
+// the schema (EXPERIMENTS.md walks through one).
+//
+//go:embed library/*.json
+var libraryFS embed.FS
+
+// Builtin parses every bundled scenario, sorted by name.
+func Builtin() ([]*Spec, error) {
+	entries, err := libraryFS.ReadDir("library")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: reading bundled library: %w", err)
+	}
+	var specs []*Spec
+	for _, e := range entries {
+		data, err := libraryFS.ReadFile("library/" + e.Name())
+		if err != nil {
+			return nil, fmt.Errorf("scenario: reading bundled %s: %w", e.Name(), err)
+		}
+		sp, err := Parse(e.Name(), data)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: bundled spec is invalid: %w", err)
+		}
+		specs = append(specs, sp)
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	return specs, nil
+}
+
+// BuiltinNames lists the bundled scenario names, sorted.
+func BuiltinNames() ([]string, error) {
+	specs, err := Builtin()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(specs))
+	for i, sp := range specs {
+		names[i] = sp.Name
+	}
+	return names, nil
+}
+
+// LoadBuiltin returns the bundled scenario with the given name, or an error
+// listing the available names.
+func LoadBuiltin(name string) (*Spec, error) {
+	specs, err := Builtin()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(specs))
+	for i, sp := range specs {
+		if sp.Name == name {
+			return sp, nil
+		}
+		names[i] = sp.Name
+	}
+	return nil, fmt.Errorf("scenario: unknown bundled scenario %q (bundled: %s)", name, strings.Join(names, ", "))
+}
+
+// Load resolves nameOrPath: anything that looks like a file reference —
+// a .json suffix or a path separator — is read from disk; everything else
+// is looked up in the bundled library.
+func Load(nameOrPath string) (*Spec, error) {
+	if strings.HasSuffix(nameOrPath, ".json") || strings.ContainsRune(nameOrPath, os.PathSeparator) {
+		data, err := os.ReadFile(nameOrPath)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		return Parse(nameOrPath, data)
+	}
+	return LoadBuiltin(nameOrPath)
+}

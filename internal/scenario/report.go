@@ -1,0 +1,172 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// ReportSchema versions the scenario report format.
+const ReportSchema = "schedbattle/scenario-report/v1"
+
+// ExperimentsSchema versions the registered-experiment report format
+// (schedbattle -run/-all with -out).
+const ExperimentsSchema = "schedbattle/experiments-report/v1"
+
+// Report is a scenario run's structured output: one TrialReport per sweep
+// cell, in compile order. Every field is a pure function of (spec, scale,
+// base seed), so marshalled reports are byte-identical at any -jobs width.
+type Report struct {
+	Schema      string        `json:"schema"`
+	Scenario    string        `json:"scenario"`
+	Description string        `json:"description,omitempty"`
+	BaseSeed    int64         `json:"base_seed"`
+	CLIScale    float64       `json:"cli_scale"`
+	Trials      []TrialReport `json:"trials"`
+}
+
+// TrialReport is one sweep cell's outcome.
+type TrialReport struct {
+	// Name is the trial's grid name ("web-tail/c8/ule/x0.05/s1").
+	Name      string  `json:"name"`
+	Cores     int     `json:"cores"`
+	Scheduler string  `json:"scheduler"`
+	Seed      int64   `json:"seed"`
+	Scale     float64 `json:"scale"`
+	WindowS   float64 `json:"window_s"`
+	// Events is the engine's dispatched-event count, a cheap determinism
+	// fingerprint of the whole simulation.
+	Events uint64 `json:"events"`
+
+	Throughput *ThroughputReport `json:"throughput,omitempty"`
+	// Latency merges every latency-recording entry of the workload mix.
+	Latency  *LatencyReport    `json:"latency,omitempty"`
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	// CoreUtil is busy/(busy+sched+idle) per core.
+	CoreUtil []float64 `json:"core_utilization,omitempty"`
+}
+
+// ThroughputReport aggregates completed work, overall and per entry.
+type ThroughputReport struct {
+	TotalOps  uint64        `json:"total_ops"`
+	OpsPerSec float64       `json:"ops_per_sec"`
+	Entries   []EntryReport `json:"entries"`
+}
+
+// EntryReport is one workload entry's slice of the outcome.
+type EntryReport struct {
+	Label     string         `json:"label"`
+	Ops       uint64         `json:"ops"`
+	OpsPerSec float64        `json:"ops_per_sec"`
+	Latency   *LatencyReport `json:"latency,omitempty"`
+}
+
+// LatencyReport summarises a latency distribution in microseconds.
+type LatencyReport struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// latencyReport converts a histogram; nil (or empty) histograms yield nil
+// so the report omits sections with nothing to say.
+func latencyReport(h *stats.Histogram) *LatencyReport {
+	if h == nil || h.Count() == 0 {
+		return nil
+	}
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	return &LatencyReport{
+		Count:  h.Count(),
+		MeanUS: us(h.Mean()),
+		P50US:  us(h.Quantile(0.50)),
+		P95US:  us(h.Quantile(0.95)),
+		P99US:  us(h.Quantile(0.99)),
+		MaxUS:  us(h.Max()),
+	}
+}
+
+// report assembles the scenario's Report from executed trial outcomes.
+func (s *Spec) report(cliScale float64, trials []TrialReport) *Report {
+	return &Report{
+		Schema:      ReportSchema,
+		Scenario:    s.Name,
+		Description: s.Description,
+		BaseSeed:    core.BaseSeed(),
+		CLIScale:    cliScale,
+		Trials:      trials,
+	}
+}
+
+// ExperimentsReport is the structured form of registered-experiment output
+// (schedbattle -run/-all -out): the same rows the text renderer prints,
+// plus run metadata. Worker-pool width is deliberately absent — report
+// bytes must not depend on -jobs.
+type ExperimentsReport struct {
+	Schema      string             `json:"schema"`
+	Scale       float64            `json:"scale"`
+	BaseSeed    int64              `json:"base_seed"`
+	Experiments []ExperimentReport `json:"experiments"`
+}
+
+// ExperimentReport is one experiment's rows and notes.
+type ExperimentReport struct {
+	ID    string          `json:"id"`
+	Title string          `json:"title"`
+	Rows  []ExperimentRow `json:"rows"`
+	Notes []string        `json:"notes,omitempty"`
+	// Series lists the result's series-set names; the data itself goes to
+	// -series files, not the report.
+	Series []string `json:"series,omitempty"`
+}
+
+// ExperimentRow mirrors core.Row. Values marshals with sorted keys; Order
+// preserves the driver's printing order.
+type ExperimentRow struct {
+	Label  string             `json:"label"`
+	Order  []string           `json:"order,omitempty"`
+	Values map[string]float64 `json:"values"`
+}
+
+// FromResult converts an experiment result into its report form.
+func FromResult(r *core.Result) ExperimentReport {
+	er := ExperimentReport{ID: r.ID, Title: r.Title, Notes: r.Notes}
+	for _, row := range r.Rows {
+		er.Rows = append(er.Rows, ExperimentRow{Label: row.Label, Order: row.Order, Values: row.Values})
+	}
+	for name := range r.Series {
+		er.Series = append(er.Series, name)
+	}
+	sort.Strings(er.Series)
+	return er
+}
+
+// MarshalReport renders any report as indented JSON with a trailing
+// newline — the one serialisation both the scenario engine and the
+// experiment -out path share, so byte-identity guarantees hold across both.
+func MarshalReport(v any) ([]byte, error) {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// WriteReport writes a marshalled report to path; "" or "-" means stdout.
+func WriteReport(path string, v any) error {
+	out, err := MarshalReport(v)
+	if err != nil {
+		return err
+	}
+	if path == "" || path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}

@@ -1,0 +1,287 @@
+package scenario
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// minimal returns a valid spec JSON with the given fragments substituted
+// in; tests mutate one field at a time.
+const validSpec = `{
+  "name": "mini",
+  "machine": {"cores": [2]},
+  "schedulers": [{"kind": "cfs"}],
+  "window": "500ms",
+  "workload": [
+    {"name": "spin", "loop": {"burst": "2ms"}}
+  ]
+}`
+
+func TestParseValidSpec(t *testing.T) {
+	sp, err := Parse("mini.json", []byte(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name != "mini" || sp.Window.D() != 500*time.Millisecond {
+		t.Fatalf("parsed spec = %+v", sp)
+	}
+	if len(sp.resolved) != 1 || string(sp.resolved[0].kind) != "cfs" {
+		t.Fatalf("resolved schedulers = %+v", sp.resolved)
+	}
+}
+
+// TestParseErrorsGolden pins the exact messages bad specs produce: syntax
+// and type errors carry file line:column positions, semantic errors the
+// spec path of the offending field.
+func TestParseErrorsGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{
+			name: "syntax",
+			in:   "{\"name\": }",
+			want: "bad.json:1:11: invalid character '}' looking for beginning of value",
+		},
+		{
+			name: "type",
+			in:   "{\"name\": 5}",
+			want: "bad.json:1:11: field name: cannot decode number into string",
+		},
+		{
+			name: "unknown-field",
+			in:   "{\"name\": \"x\", \"bogus\": 1}",
+			want: "bad.json: unknown field \"bogus\"",
+		},
+		{
+			name: "bad-duration",
+			in:   "{\"name\": \"x\", \"window\": \"10x\"}",
+			want: "bad.json: invalid duration \"10x\" (want e.g. \"250ms\")",
+		},
+		{
+			name: "duration-number",
+			in:   "{\"name\": \"x\", \"window\": 250}",
+			want: "bad.json: duration must be a string like \"250ms\", got 250",
+		},
+		{
+			name: "trailing-data",
+			in:   "{\"name\": \"x\", \"machine\": {\"cores\": [1]}, \"schedulers\": [{\"kind\": \"cfs\"}], \"window\": \"1s\", \"workload\": [{\"loop\": {\"burst\": \"1ms\"}}]}\n{}",
+			want: "bad.json:2:1: unexpected data after the scenario object",
+		},
+		{
+			name: "missing-name",
+			in:   "{}",
+			want: "bad.json: name: scenario name is required",
+		},
+		{
+			name: "missing-window",
+			in:   "{\"name\": \"x\"}",
+			want: "bad.json: window: window must be a positive duration",
+		},
+		{
+			name: "missing-cores",
+			in:   "{\"name\": \"x\", \"window\": \"1s\"}",
+			want: "bad.json: machine.cores: at least one core count is required",
+		},
+		{
+			name: "cores-range",
+			in:   "{\"name\": \"x\", \"window\": \"1s\", \"machine\": {\"cores\": [8, 0]}}",
+			want: "bad.json: machine.cores[1]: core count 0 out of range [1, 1024]",
+		},
+		{
+			name: "missing-schedulers",
+			in:   "{\"name\": \"x\", \"window\": \"1s\", \"machine\": {\"cores\": [2]}}",
+			want: "bad.json: schedulers: at least one scheduler is required",
+		},
+		{
+			name: "unknown-kind",
+			in:   "{\"name\": \"x\", \"window\": \"1s\", \"machine\": {\"cores\": [2]}, \"schedulers\": [{\"kind\": \"o1\"}]}",
+			want: "bad.json: schedulers[0].kind: unknown scheduler kind \"o1\" (registered: [cfs cfs-nocgroups fifo ule ule-fullpreempt ule-prevcpu ule-stockbug])",
+		},
+		{
+			name: "star-not-alone",
+			in:   "{\"name\": \"x\", \"window\": \"1s\", \"machine\": {\"cores\": [2]}, \"schedulers\": [{\"kind\": \"cfs\"}, {\"kind\": \"*\"}]}",
+			want: "bad.json: schedulers[1].kind: \"*\" must be the only scheduler entry",
+		},
+		{
+			name: "params-wrong-family",
+			in:   "{\"name\": \"x\", \"window\": \"1s\", \"machine\": {\"cores\": [2]}, \"schedulers\": [{\"kind\": \"cfs\", \"ule\": {\"SliceTicks\": 5}}]}",
+			want: "bad.json: schedulers[0].ule: ULE parameter overrides are invalid for kind \"cfs\"",
+		},
+		{
+			name: "params-unknown-field",
+			in:   "{\"name\": \"x\", \"window\": \"1s\", \"machine\": {\"cores\": [2]}, \"schedulers\": [{\"kind\": \"ule\", \"ule\": {\"SliceTicksTypo\": 5}}]}",
+			want: "bad.json: schedulers[0].ule: unknown field \"SliceTicksTypo\"",
+		},
+		{
+			name: "missing-workload",
+			in:   "{\"name\": \"x\", \"window\": \"1s\", \"machine\": {\"cores\": [2]}, \"schedulers\": [{\"kind\": \"cfs\"}]}",
+			want: "bad.json: workload: at least one workload entry is required",
+		},
+		{
+			name: "entry-no-kind",
+			in:   "{\"name\": \"x\", \"window\": \"1s\", \"machine\": {\"cores\": [2]}, \"schedulers\": [{\"kind\": \"cfs\"}], \"workload\": [{\"count\": 2}]}",
+			want: "bad.json: workload[0]: exactly one of app, loop, finite, or openloop is required (got 0)",
+		},
+		{
+			name: "unknown-app",
+			in:   "{\"name\": \"x\", \"window\": \"1s\", \"machine\": {\"cores\": [2]}, \"schedulers\": [{\"kind\": \"cfs\"}], \"workload\": [{\"app\": \"sysbencch\"}]}",
+			want: "bad.json: workload[0].app: unknown application \"sysbencch\"",
+		},
+		{
+			name: "app-pinned",
+			in:   "{\"name\": \"x\", \"window\": \"1s\", \"machine\": {\"cores\": [2]}, \"schedulers\": [{\"kind\": \"cfs\"}], \"workload\": [{\"app\": \"fibo\", \"pinned\": [0]}]}",
+			want: "bad.json: workload[0].pinned: pinning applies to primitives only, not app entries",
+		},
+		{
+			name: "pinned-out-of-range",
+			in:   "{\"name\": \"x\", \"window\": \"1s\", \"machine\": {\"cores\": [8, 32]}, \"schedulers\": [{\"kind\": \"cfs\"}], \"workload\": [{\"loop\": {\"burst\": \"1ms\"}, \"pinned\": [0, 9]}]}",
+			want: "bad.json: workload[0].pinned[1]: core 9 out of range [0, 8) on the smallest swept machine",
+		},
+		{
+			name: "openloop-rate-and-interarrival",
+			in:   "{\"name\": \"x\", \"window\": \"1s\", \"machine\": {\"cores\": [2]}, \"schedulers\": [{\"kind\": \"cfs\"}], \"workload\": [{\"openloop\": {\"workers\": 2, \"rate\": 100, \"interarrival\": \"10ms\", \"service\": \"1ms\"}}]}",
+			want: "bad.json: workload[0].openloop: exactly one of rate and interarrival is required",
+		},
+		{
+			name: "openloop-rate-too-high",
+			in:   "{\"name\": \"x\", \"window\": \"1s\", \"machine\": {\"cores\": [2]}, \"schedulers\": [{\"kind\": \"cfs\"}], \"workload\": [{\"openloop\": {\"workers\": 2, \"rate\": 3000000000, \"service\": \"1ms\"}}]}",
+			want: "bad.json: workload[0].openloop.rate: rate 3e+09 exceeds 1e9 requests/second",
+		},
+		{
+			name: "openloop-bad-dist",
+			in:   "{\"name\": \"x\", \"window\": \"1s\", \"machine\": {\"cores\": [2]}, \"schedulers\": [{\"kind\": \"cfs\"}], \"workload\": [{\"openloop\": {\"workers\": 2, \"rate\": 100, \"dist\": \"gaussian\", \"service\": \"1ms\"}}]}",
+			want: "bad.json: workload[0].openloop.dist: unknown distribution \"gaussian\" (known: poisson, uniform, periodic)",
+		},
+		{
+			name: "duplicate-label",
+			in:   "{\"name\": \"x\", \"window\": \"1s\", \"machine\": {\"cores\": [2]}, \"schedulers\": [{\"kind\": \"cfs\"}], \"workload\": [{\"name\": \"a\", \"loop\": {\"burst\": \"1ms\"}}, {\"name\": \"a\", \"loop\": {\"burst\": \"1ms\"}}]}",
+			want: "bad.json: workload[1].name: label \"a\" already used by workload[0]",
+		},
+		{
+			name: "bad-metric",
+			in:   "{\"name\": \"x\", \"window\": \"1s\", \"machine\": {\"cores\": [2]}, \"schedulers\": [{\"kind\": \"cfs\"}], \"workload\": [{\"loop\": {\"burst\": \"1ms\"}}], \"metrics\": [\"speed\"]}",
+			want: "bad.json: metrics[0]: unknown metric \"speed\" (known: throughput, latency, counters, utilization)",
+		},
+		{
+			name: "bad-scale",
+			in:   "{\"name\": \"x\", \"window\": \"1s\", \"machine\": {\"cores\": [2]}, \"schedulers\": [{\"kind\": \"cfs\"}], \"workload\": [{\"loop\": {\"burst\": \"1ms\"}}], \"scales\": [1, 1.5]}",
+			want: "bad.json: scales[1]: scale 1.5 out of range (0, 1]",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse("bad.json", []byte(c.in))
+			if err == nil {
+				t.Fatalf("spec %s parsed without error", c.in)
+			}
+			if got := err.Error(); got != c.want {
+				t.Fatalf("error mismatch:\n got: %s\nwant: %s", got, c.want)
+			}
+		})
+	}
+}
+
+func TestSchedulerStarExpandsToAllKinds(t *testing.T) {
+	in := `{
+	  "name": "x", "window": "1s",
+	  "machine": {"cores": [2]},
+	  "schedulers": [{"kind": "*"}],
+	  "workload": [{"loop": {"burst": "1ms"}}]
+	}`
+	sp, err := Parse("star.json", []byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The registry holds 3 built-ins + 4 ablation variants.
+	if len(sp.resolved) != 7 {
+		t.Fatalf("resolved %d kinds, want 7: %+v", len(sp.resolved), sp.resolved)
+	}
+}
+
+func TestSchedulerParamOverrides(t *testing.T) {
+	in := `{
+	  "name": "x", "window": "1s",
+	  "machine": {"cores": [2]},
+	  "schedulers": [
+	    {"kind": "ule", "ule": {"SliceTicks": 20, "FullPreempt": true}},
+	    {"kind": "cfs", "cfs": {"LatencyNrMax": 16}}
+	  ],
+	  "workload": [{"loop": {"burst": "1ms"}}]
+	}`
+	sp, err := Parse("params.json", []byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.resolved[0].ule == nil || sp.resolved[0].ule.SliceTicks != 20 || !sp.resolved[0].ule.FullPreempt {
+		t.Fatalf("ULE overrides not applied: %+v", sp.resolved[0].ule)
+	}
+	// Untouched fields keep their defaults.
+	if sp.resolved[0].ule.InteractThresh != 30 {
+		t.Fatalf("ULE default lost: %+v", sp.resolved[0].ule)
+	}
+	if sp.resolved[1].cfs == nil || sp.resolved[1].cfs.LatencyNrMax != 16 {
+		t.Fatalf("CFS overrides not applied: %+v", sp.resolved[1].cfs)
+	}
+}
+
+func TestBuiltinLibrary(t *testing.T) {
+	specs, err := Builtin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) < 6 {
+		t.Fatalf("bundled library has %d scenarios, want ≥6", len(specs))
+	}
+	names, err := BuiltinNames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted/unique: %v", names)
+		}
+	}
+	for _, sp := range specs {
+		if sp.Description == "" {
+			t.Errorf("%s: bundled scenarios must carry a description", sp.Name)
+		}
+		// Every bundled scenario must compile into a non-empty grid.
+		trials, err := sp.Compile(0.1)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		if len(trials) < 2 {
+			t.Fatalf("%s compiled to %d trials, want ≥2 (a comparison)", sp.Name, len(trials))
+		}
+	}
+
+	if _, err := LoadBuiltin("web-tail"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadBuiltin("nonesuch")
+	if err == nil || !strings.Contains(err.Error(), "web-tail") {
+		t.Fatalf("unknown-builtin error should list bundled names, got: %v", err)
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/custom.json"
+	if err := os.WriteFile(path, []byte(validSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name != "mini" {
+		t.Fatalf("loaded %q", sp.Name)
+	}
+	if _, err := Load(dir + "/missing.json"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -1,0 +1,328 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/cfs"
+	"repro/internal/core"
+	"repro/internal/ule"
+	"repro/internal/workload"
+)
+
+// Metric names a report section a scenario can select.
+const (
+	MetricThroughput  = "throughput"
+	MetricLatency     = "latency"
+	MetricCounters    = "counters"
+	MetricUtilization = "utilization"
+)
+
+// AllMetrics lists every metric selection, in report order.
+var AllMetrics = []string{MetricThroughput, MetricLatency, MetricCounters, MetricUtilization}
+
+// resolvedSched is a scheduler sweep cell after validation: a concrete
+// registered kind plus decoded parameter overrides.
+type resolvedSched struct {
+	kind core.SchedulerKind
+	ule  *ule.Params
+	cfs  *cfs.Params
+}
+
+// maxEntries bounds the workload mix, and maxCount the instances one entry
+// may spawn — generous for any real scenario, small enough to catch typos
+// (a count of 1e9 is a mistake, not a workload).
+const (
+	maxEntries = 256
+	maxCount   = 100000
+)
+
+// Validate checks the spec and resolves scheduler kinds and parameter
+// overrides. Errors are *Error values positioned at the offending field's
+// spec path. Validate is idempotent; Compile calls it if needed.
+func (s *Spec) Validate() error {
+	if strings.TrimSpace(s.Name) == "" {
+		return verr("name", "scenario name is required")
+	}
+	if s.Window.D() <= 0 {
+		return verr("window", "window must be a positive duration")
+	}
+
+	if len(s.Machine.Cores) == 0 {
+		return verr("machine.cores", "at least one core count is required")
+	}
+	minCores := s.Machine.Cores[0]
+	for i, c := range s.Machine.Cores {
+		if c < 1 || c > 1024 {
+			return verr(fmt.Sprintf("machine.cores[%d]", i), "core count %d out of range [1, 1024]", c)
+		}
+		if c < minCores {
+			minCores = c
+		}
+	}
+
+	if err := s.resolveSchedulers(); err != nil {
+		return err
+	}
+
+	for i, sc := range s.Scales {
+		if !(sc > 0 && sc <= 1) {
+			return verr(fmt.Sprintf("scales[%d]", i), "scale %g out of range (0, 1]", sc)
+		}
+	}
+	for i, seed := range s.Seeds {
+		if seed < 0 {
+			return verr(fmt.Sprintf("seeds[%d]", i), "seed %d must be non-negative", seed)
+		}
+	}
+
+	if len(s.Workload) == 0 {
+		return verr("workload", "at least one workload entry is required")
+	}
+	if len(s.Workload) > maxEntries {
+		return verr("workload", "%d entries exceed the limit of %d", len(s.Workload), maxEntries)
+	}
+	labels := map[string]int{}
+	for i := range s.Workload {
+		if err := s.Workload[i].validate(fmt.Sprintf("workload[%d]", i), minCores); err != nil {
+			return err
+		}
+		label := s.Workload[i].label(i)
+		if prev, dup := labels[label]; dup {
+			return verr(fmt.Sprintf("workload[%d].name", i), "label %q already used by workload[%d]", label, prev)
+		}
+		labels[label] = i
+	}
+
+	for i, mName := range s.Metrics {
+		ok := false
+		for _, known := range AllMetrics {
+			if mName == known {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return verr(fmt.Sprintf("metrics[%d]", i), "unknown metric %q (known: %s)", mName, strings.Join(AllMetrics, ", "))
+		}
+	}
+	return nil
+}
+
+// resolveSchedulers expands "*" and decodes parameter overrides into
+// s.resolved.
+func (s *Spec) resolveSchedulers() error {
+	if len(s.Schedulers) == 0 {
+		return verr("schedulers", "at least one scheduler is required")
+	}
+	s.resolved = s.resolved[:0]
+	registered := core.SchedulerKinds()
+	seen := map[core.SchedulerKind]bool{}
+	for i, sp := range s.Schedulers {
+		pos := fmt.Sprintf("schedulers[%d]", i)
+		if sp.Kind == "" {
+			return verr(pos+".kind", "scheduler kind is required")
+		}
+		if sp.Kind == "*" {
+			if len(s.Schedulers) != 1 {
+				return verr(pos+".kind", `"*" must be the only scheduler entry`)
+			}
+			if len(sp.ULE) > 0 || len(sp.CFS) > 0 {
+				return verr(pos, `parameter overrides cannot be combined with kind "*"`)
+			}
+			for _, k := range registered {
+				s.resolved = append(s.resolved, resolvedSched{kind: k})
+			}
+			return nil
+		}
+		kind := core.SchedulerKind(sp.Kind)
+		known := false
+		for _, k := range registered {
+			if k == kind {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return verr(pos+".kind", "unknown scheduler kind %q (registered: %v)", sp.Kind, registered)
+		}
+		if seen[kind] {
+			return verr(pos+".kind", "scheduler kind %q listed twice", sp.Kind)
+		}
+		seen[kind] = true
+
+		rs := resolvedSched{kind: kind}
+		if len(sp.ULE) > 0 {
+			if !strings.HasPrefix(sp.Kind, "ule") {
+				return verr(pos+".ule", "ULE parameter overrides are invalid for kind %q", sp.Kind)
+			}
+			p := ule.DefaultParams()
+			if err := decodeParams(sp.ULE, &p); err != nil {
+				return verr(pos+".ule", "%v", err)
+			}
+			rs.ule = &p
+		}
+		if len(sp.CFS) > 0 {
+			if !strings.HasPrefix(sp.Kind, "cfs") {
+				return verr(pos+".cfs", "CFS parameter overrides are invalid for kind %q", sp.Kind)
+			}
+			p := cfs.DefaultParams()
+			if err := decodeParams(sp.CFS, &p); err != nil {
+				return verr(pos+".cfs", "%v", err)
+			}
+			rs.cfs = &p
+		}
+		s.resolved = append(s.resolved, rs)
+	}
+	return nil
+}
+
+// decodeParams strictly decodes a partial override object over defaults.
+func decodeParams(raw json.RawMessage, into any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("%s", strings.TrimPrefix(err.Error(), "json: "))
+	}
+	return nil
+}
+
+// validate checks one workload entry. minCores is the smallest swept core
+// count, the bound pinning must respect on every machine of the sweep.
+func (e *Entry) validate(pos string, minCores int) error {
+	kinds := 0
+	if e.App != "" {
+		kinds++
+	}
+	if e.Loop != nil {
+		kinds++
+	}
+	if e.Finite != nil {
+		kinds++
+	}
+	if e.OpenLoop != nil {
+		kinds++
+	}
+	if kinds != 1 {
+		return verr(pos, "exactly one of app, loop, finite, or openloop is required (got %d)", kinds)
+	}
+	if e.Count < 0 || e.Count > maxCount {
+		return verr(pos+".count", "count %d out of range [1, %d]", e.Count, maxCount)
+	}
+	if e.StartAt.D() < 0 {
+		return verr(pos+".startAt", "startAt must not be negative")
+	}
+	if e.Nice < -20 || e.Nice > 19 {
+		return verr(pos+".nice", "nice %d out of range [-20, 19]", e.Nice)
+	}
+
+	if e.App != "" {
+		if _, err := apps.ByName(e.App); err != nil {
+			return verr(pos+".app", "unknown application %q", e.App)
+		}
+		if len(e.Pinned) > 0 {
+			return verr(pos+".pinned", "pinning applies to primitives only, not app entries")
+		}
+		if e.Nice != 0 {
+			return verr(pos+".nice", "nice applies to primitives only, not app entries")
+		}
+		return nil
+	}
+
+	for i, c := range e.Pinned {
+		if c < 0 || c >= minCores {
+			return verr(fmt.Sprintf("%s.pinned[%d]", pos, i), "core %d out of range [0, %d) on the smallest swept machine", c, minCores)
+		}
+	}
+
+	switch {
+	case e.Loop != nil:
+		if e.Loop.Burst.D() <= 0 {
+			return verr(pos+".loop.burst", "burst must be a positive duration")
+		}
+		if e.Loop.JitterPct < 0 || e.Loop.JitterPct > 100 {
+			return verr(pos+".loop.jitterPct", "jitterPct %d out of range [0, 100]", e.Loop.JitterPct)
+		}
+	case e.Finite != nil:
+		if e.Finite.Burst.D() <= 0 {
+			return verr(pos+".finite.burst", "burst must be a positive duration")
+		}
+		if e.Finite.N < 1 {
+			return verr(pos+".finite.n", "n must be at least 1")
+		}
+		if e.Finite.JitterPct < 0 || e.Finite.JitterPct > 100 {
+			return verr(pos+".finite.jitterPct", "jitterPct %d out of range [0, 100]", e.Finite.JitterPct)
+		}
+		if e.Finite.IOSleep.D() < 0 {
+			return verr(pos+".finite.ioSleep", "ioSleep must not be negative")
+		}
+	case e.OpenLoop != nil:
+		ol := e.OpenLoop
+		if ol.Workers < 1 {
+			return verr(pos+".openloop.workers", "workers must be at least 1")
+		}
+		if (ol.Rate > 0) == (ol.Interarrival.D() > 0) {
+			return verr(pos+".openloop", "exactly one of rate and interarrival is required")
+		}
+		if ol.Rate < 0 {
+			return verr(pos+".openloop.rate", "rate must be positive")
+		}
+		// The mean inter-arrival time is 1s/rate; past 1e9 req/s it
+		// truncates to zero nanoseconds.
+		if ol.Rate > 1e9 {
+			return verr(pos+".openloop.rate", "rate %g exceeds 1e9 requests/second", ol.Rate)
+		}
+		if ol.Dist != "" && !workload.ValidDist(workload.ArrivalDist(ol.Dist)) {
+			return verr(pos+".openloop.dist", "unknown distribution %q (known: poisson, uniform, periodic)", ol.Dist)
+		}
+		if ol.Service.D() <= 0 {
+			return verr(pos+".openloop.service", "service must be a positive duration")
+		}
+		if ol.ServiceJitterPct < 0 || ol.ServiceJitterPct > 100 {
+			return verr(pos+".openloop.serviceJitterPct", "serviceJitterPct %d out of range [0, 100]", ol.ServiceJitterPct)
+		}
+	}
+	return nil
+}
+
+// count returns the entry's instance count (default 1).
+func (e *Entry) count() int {
+	if e.Count <= 0 {
+		return 1
+	}
+	return e.Count
+}
+
+// label returns the entry's report label: the explicit name, the app name,
+// or "<primitive><index>".
+func (e *Entry) label(i int) string {
+	if e.Name != "" {
+		return e.Name
+	}
+	switch {
+	case e.App != "":
+		return e.App
+	case e.Loop != nil:
+		return fmt.Sprintf("loop%d", i)
+	case e.Finite != nil:
+		return fmt.Sprintf("finite%d", i)
+	default:
+		return fmt.Sprintf("openloop%d", i)
+	}
+}
+
+// wants reports whether metric m is selected (empty Metrics = all).
+func (s *Spec) wants(m string) bool {
+	if len(s.Metrics) == 0 {
+		return true
+	}
+	for _, sel := range s.Metrics {
+		if sel == m {
+			return true
+		}
+	}
+	return false
+}

@@ -252,6 +252,27 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.max
 }
 
+// Merge folds o's samples into h bucket-wise. Quantiles of the merged
+// histogram are exact at bucket resolution, as if every sample had been
+// observed on h directly; the scenario engine uses this to combine
+// per-entry and per-instance latency recordings into one report line.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
 // String summarises the distribution.
 func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",

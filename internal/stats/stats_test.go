@@ -167,6 +167,48 @@ func TestHistogramQuantileWithinBounds(t *testing.T) {
 	}
 }
 
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	for i := 1; i <= 50; i++ {
+		a.Observe(time.Duration(i) * time.Millisecond)
+		all.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for i := 51; i <= 100; i++ {
+		b.Observe(time.Duration(i) * time.Millisecond)
+		all.Observe(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), all.Count())
+	}
+	if a.Mean() != all.Mean() {
+		t.Fatalf("merged mean = %v, want %v", a.Mean(), all.Mean())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merged min/max = %v/%v, want %v/%v", a.Min(), a.Max(), all.Min(), all.Max())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 0.99, 1} {
+		if got, want := a.Quantile(q), all.Quantile(q); got != want {
+			t.Fatalf("merged q%v = %v, want %v", q, got, want)
+		}
+	}
+
+	// Merging empty or nil histograms changes nothing.
+	before := a
+	a.Merge(&Histogram{})
+	a.Merge(nil)
+	if a != before {
+		t.Fatal("merge with empty/nil modified histogram")
+	}
+
+	// Merging into an empty histogram adopts min/max verbatim.
+	var c Histogram
+	c.Merge(&b)
+	if c.Min() != b.Min() || c.Max() != b.Max() || c.Count() != b.Count() {
+		t.Fatalf("empty.Merge: min/max/count = %v/%v/%d", c.Min(), c.Max(), c.Count())
+	}
+}
+
 func TestCounterSet(t *testing.T) {
 	cs := NewCounterSet()
 	cs.Get("x").Inc(3)
