@@ -1,0 +1,175 @@
+package main
+
+// The battle CLI glue: `schedbattle -battle <names>` replicates scenarios
+// across a seed axis and writes the JSON battle matrix (-out), the
+// markdown rendering (-md, or stdout), and optionally a baseline snapshot
+// (-baseline). `schedbattle -check -baseline <file>` re-runs the
+// baseline's scenarios at its recorded scale and fails on statistically
+// significant regressions — the scenario library as a CI gate.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/battle"
+	"repro/internal/scenario"
+)
+
+// BattleFile is the JSON document `-battle -out` writes: one battle
+// report per requested scenario, in request order.
+type BattleFile struct {
+	Schema  string           `json:"schema"`
+	Reports []*battle.Report `json:"reports"`
+}
+
+// BattleFileSchema versions the multi-scenario battle output.
+const BattleFileSchema = "schedbattle/battle-file/v1"
+
+// battleTargets resolves the -battle argument: "all" is every bundled
+// scenario; otherwise a comma-separated list of bundled names or spec
+// file paths.
+func battleTargets(arg string) ([]string, error) {
+	if arg == "all" {
+		return scenario.BuiltinNames()
+	}
+	var names []string
+	for _, n := range strings.Split(arg, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-battle needs a scenario name, a spec path, or \"all\"")
+	}
+	return names, nil
+}
+
+// joinMarkdown concatenates per-scenario battle matrices into one
+// document, ruled apart — the single rendering both -battle and -check
+// share, so their artifacts cannot diverge.
+func joinMarkdown(reports []*battle.Report) string {
+	var md strings.Builder
+	for i, rep := range reports {
+		if i > 0 {
+			md.WriteString("\n---\n\n")
+		}
+		md.WriteString(rep.Markdown())
+	}
+	return md.String()
+}
+
+// runBattle executes battle runs for every requested scenario and writes
+// the outputs. Markdown goes to mdPath, or stdout when mdPath is empty;
+// the JSON battle file to outPath when set; a baseline snapshot to
+// baselinePath when set.
+func runBattle(arg string, opt battle.Options, outPath, mdPath, baselinePath string) error {
+	names, err := battleTargets(arg)
+	if err != nil {
+		return err
+	}
+	var (
+		reports []*battle.Report
+		sources = map[string]string{}
+	)
+	for _, name := range names {
+		sp, err := scenario.Load(name)
+		if err != nil {
+			return err
+		}
+		rep, err := battle.Run(sp, opt)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+		sources[rep.Scenario] = name
+	}
+	md := joinMarkdown(reports)
+
+	switch {
+	case mdPath == "" || mdPath == "-":
+		// With -out -, the JSON report owns stdout (same contract as the
+		// experiment sweep); the markdown moves to stderr so piping into a
+		// JSON consumer just works.
+		if outPath == "-" {
+			fmt.Fprint(os.Stderr, md)
+		} else {
+			fmt.Print(md)
+		}
+	default:
+		if err := os.WriteFile(mdPath, []byte(md), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", mdPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "schedbattle: wrote %s\n", mdPath)
+	}
+
+	if outPath != "" {
+		file := BattleFile{Schema: BattleFileSchema, Reports: reports}
+		if err := scenario.WriteReport(outPath, file); err != nil {
+			return fmt.Errorf("writing %s: %w", outPath, err)
+		}
+		if outPath != "-" {
+			fmt.Fprintf(os.Stderr, "schedbattle: wrote %s\n", outPath)
+		}
+	}
+
+	if baselinePath != "" {
+		b := battle.NewBaseline(reports, opt, sources)
+		if err := battle.WriteBaseline(baselinePath, b); err != nil {
+			return fmt.Errorf("writing %s: %w", baselinePath, err)
+		}
+		fmt.Fprintf(os.Stderr, "schedbattle: wrote baseline %s\n", baselinePath)
+	}
+	return nil
+}
+
+// runCheck executes the regression gate: re-run the baseline's scenarios
+// and compare. Returns the number of regressions (the caller exits
+// non-zero on any); the fresh markdown battle report lands in mdPath when
+// set, so CI can upload it as an artifact either way.
+func runCheck(baselinePath, mdPath string) (int, error) {
+	if baselinePath == "" {
+		return 0, fmt.Errorf("-check needs -baseline <file>")
+	}
+	b, err := battle.LoadBaseline(baselinePath)
+	if err != nil {
+		return 0, err
+	}
+	regs, reports, err := battle.Check(b)
+	if err != nil {
+		return 0, err
+	}
+
+	// In check mode stdout carries the verdict lines, so markdown is only
+	// emitted when asked for: to a file, or to stderr with -md -.
+	if mdPath != "" {
+		md := joinMarkdown(reports)
+		if mdPath == "-" {
+			fmt.Fprint(os.Stderr, md)
+		} else if err := os.WriteFile(mdPath, []byte(md), 0o644); err != nil {
+			return 0, fmt.Errorf("writing %s: %w", mdPath, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "schedbattle: wrote %s\n", mdPath)
+		}
+	}
+
+	cells := 0
+	for _, bs := range b.Scenarios {
+		for _, bg := range bs.Groups {
+			cells += len(bg.Entries)
+		}
+	}
+	for _, r := range regs {
+		fmt.Printf("REGRESSION %s\n", r)
+	}
+	if len(regs) > 0 {
+		fmt.Printf("check: %d of %d baseline cells regressed (%s, scale %g, %d seeds)\n",
+			len(regs), cells, baselinePath, b.CLIScale, b.Replications)
+	} else {
+		fmt.Printf("check: PASS — %d baseline cells within bounds (%s, scale %g, %d seeds)\n",
+			cells, baselinePath, b.CLIScale, b.Replications)
+	}
+	return len(regs), nil
+}

@@ -15,6 +15,9 @@
 //	schedbattle -scenarios
 //	schedbattle -scenario web-tail -scale 0.1 -out report.json
 //	schedbattle -scenario my-scenario.json
+//	schedbattle -battle web-tail -scale 0.1 -out battle.json -md battle.md
+//	schedbattle -battle all -scale 0.05 -replications 5 -baseline baselines/ci.json
+//	schedbattle -check -baseline baselines/ci.json -md battle-report.md
 //	schedbattle -perf
 package main
 
@@ -27,6 +30,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/battle"
 	"repro/internal/core"
 	"repro/internal/runner"
 	"repro/internal/scenario"
@@ -44,6 +48,11 @@ func main() {
 		out       = flag.String("out", "", "write a structured JSON report to this file (\"-\" = stdout)")
 		scen      = flag.String("scenario", "", "run a scenario: bundled name or path to a .json spec")
 		scenList  = flag.Bool("scenarios", false, "list bundled scenarios and exit")
+		battleArg = flag.String("battle", "", "battle scenarios (comma-separated names/paths, or \"all\"): multi-seed replication, CIs, win/loss/tie matrix")
+		reps      = flag.Int("replications", 5, "battle seed-replication count per scheduler")
+		mdOut     = flag.String("md", "", "write the markdown battle matrix to this file (default: stdout)")
+		baseline  = flag.String("baseline", "", "with -battle: write a baseline snapshot here; with -check: the baseline to gate against")
+		check     = flag.Bool("check", false, "re-run the -baseline file's scenarios and exit non-zero on significant regressions")
 		perf      = flag.Bool("perf", false, "run the engine perf harness and write -perf-out")
 		perfOut   = flag.String("perf-out", "BENCH_engine.json", "engine perf harness output file")
 	)
@@ -81,6 +90,27 @@ func main() {
 	runner.SetWorkers(*jobs)
 	core.SetBaseSeed(*seed)
 
+	if *check {
+		regs, err := runCheck(*baseline, *mdOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "schedbattle: check: %v\n", err)
+			os.Exit(2)
+		}
+		if regs > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *battleArg != "" {
+		opt := battle.Options{Replications: *reps, Scale: *scale}
+		if err := runBattle(*battleArg, opt, *out, *mdOut, *baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "schedbattle: battle: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *scen != "" {
 		if err := runScenario(*scen, *scale, *out); err != nil {
 			fmt.Fprintf(os.Stderr, "schedbattle: %v\n", err)
@@ -98,7 +128,7 @@ func main() {
 	case *run != "":
 		ids = []string{*run}
 	default:
-		fmt.Fprintln(os.Stderr, "schedbattle: need -run <id>, -all, -scenario, -scenarios, -perf, or -list")
+		fmt.Fprintln(os.Stderr, "schedbattle: need -run <id>, -all, -scenario, -scenarios, -battle, -check, -perf, or -list")
 		flag.Usage()
 		os.Exit(2)
 	}

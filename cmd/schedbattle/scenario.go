@@ -11,16 +11,23 @@ import (
 	"repro/internal/scenario"
 )
 
-// listScenarios prints the bundled library, one scenario per line.
+// listScenarios prints the bundled library: id, grid size, and the spec's
+// one-line description. Trailing hint lines start with "run" so listing
+// consumers (the CI smoke loop) can filter them out by first column.
 func listScenarios() error {
 	specs, err := scenario.Builtin()
 	if err != nil {
 		return err
 	}
 	for _, sp := range specs {
-		fmt.Printf("%-16s %s\n", sp.Name, sp.Description)
+		trials, err := sp.Compile(1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %2d trials  %s\n", sp.Name, len(trials), sp.Description)
 	}
-	fmt.Println("\nrun one with: schedbattle -scenario <name> [-scale 0.1] [-out report.json]")
+	fmt.Println("\nrun one with:      schedbattle -scenario <name> [-scale 0.1] [-out report.json]")
+	fmt.Println("run a battle with: schedbattle -battle <name>[,<name>...] [-replications 5] [-md battle.md]")
 	return nil
 }
 

@@ -40,8 +40,17 @@ func main() {
 	}
 	fmt.Println("trial                      p50(us)   p99(us)   ops/s")
 	for _, tr := range rep.Trials {
-		fmt.Printf("%-24s %9.0f %9.0f %9.0f\n",
-			tr.Scheduler, tr.Latency.P50US, tr.Latency.P99US, tr.Throughput.OpsPerSec)
+		// Latency and Throughput are omitted when the metric selection (or
+		// an edited workload) records nothing for them — guard before
+		// dereferencing so Spec experiments fail informatively.
+		p50, p99, ops := 0.0, 0.0, 0.0
+		if tr.Latency != nil {
+			p50, p99 = tr.Latency.P50US, tr.Latency.P99US
+		}
+		if tr.Throughput != nil {
+			ops = tr.Throughput.OpsPerSec
+		}
+		fmt.Printf("%-24s %9.0f %9.0f %9.0f\n", tr.Scheduler, p50, p99, ops)
 	}
 	fmt.Println("\nThe open-loop source keeps offering 3000 req/s regardless of how the")
 	fmt.Println("scheduler treats the workers, so queueing delay — not a slowed-down")

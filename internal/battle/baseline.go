@@ -1,0 +1,266 @@
+package battle
+
+// Baseline snapshots and the regression gate. A baseline file is a
+// committed, small-scale battle run boiled down to per-cell means and
+// confidence intervals. `schedbattle -check` re-runs every scenario the
+// baseline covers at the recorded scale and replication count, then
+// compares cell against cell: a regression is a statistically significant
+// move in the metric's worse direction — the current mean falls outside
+// the baseline's interval on the losing side AND the baseline mean falls
+// outside the current interval, so two noisy-but-overlapping runs never
+// fire the gate. With an unchanged simulator the re-run reproduces the
+// baseline bit-for-bit (everything is seeded), so the gate is silent until
+// a code change actually moves a metric.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// BaselineSchema versions the baseline snapshot format.
+const BaselineSchema = "schedbattle/battle-baseline/v1"
+
+// Baseline is a committed snapshot of one or more battle runs.
+type Baseline struct {
+	Schema string `json:"schema"`
+	// CLIScale and Replications record how the snapshot was produced;
+	// Check re-runs with exactly these.
+	CLIScale       float64 `json:"cli_scale"`
+	Replications   int     `json:"replications"`
+	Confidence     float64 `json:"confidence"`
+	BootstrapIters int     `json:"bootstrap_iters"`
+	BaseSeed       int64   `json:"base_seed"`
+
+	Scenarios []BaselineScenario `json:"scenarios"`
+}
+
+// BaselineScenario is one scenario's snapshot. Source is what Check hands
+// to scenario.Load — the bundled name, or a spec file path for
+// out-of-tree scenarios.
+type BaselineScenario struct {
+	Scenario string          `json:"scenario"`
+	Source   string          `json:"source,omitempty"`
+	Groups   []BaselineGroup `json:"groups"`
+}
+
+// BaselineGroup snapshots one (cores, scale) sweep point.
+type BaselineGroup struct {
+	Cores   int             `json:"cores"`
+	Scale   float64         `json:"scale"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry is one (scheduler, metric) cell's committed summary.
+type BaselineEntry struct {
+	Scheduler string  `json:"scheduler"`
+	Metric    string  `json:"metric"`
+	Better    string  `json:"better"`
+	N         int     `json:"n"`
+	Mean      float64 `json:"mean"`
+	CILo      float64 `json:"ci_lo"`
+	CIHi      float64 `json:"ci_hi"`
+}
+
+// NewBaseline snapshots finished battle reports. sources maps scenario
+// name → the Source recorded for re-loading; missing entries default to
+// the scenario name (bundled library lookup).
+func NewBaseline(reports []*Report, opt Options, sources map[string]string) *Baseline {
+	opt = opt.withDefaults()
+	b := &Baseline{
+		Schema:         BaselineSchema,
+		CLIScale:       opt.Scale,
+		Replications:   opt.Replications,
+		Confidence:     opt.Confidence,
+		BootstrapIters: opt.BootstrapIters,
+	}
+	for _, r := range reports {
+		b.BaseSeed = r.BaseSeed
+		bs := BaselineScenario{Scenario: r.Scenario}
+		if src, ok := sources[r.Scenario]; ok && src != r.Scenario {
+			bs.Source = src
+		}
+		for gi := range r.Groups {
+			g := &r.Groups[gi]
+			bg := BaselineGroup{Cores: g.Cores, Scale: g.Scale}
+			for mi := range g.Metrics {
+				mt := &g.Metrics[mi]
+				for _, c := range mt.Cells {
+					bg.Entries = append(bg.Entries, BaselineEntry{
+						Scheduler: c.Scheduler,
+						Metric:    mt.Metric,
+						Better:    mt.Better,
+						N:         c.Sample.N,
+						Mean:      c.Sample.Mean,
+						CILo:      c.CILo,
+						CIHi:      c.CIHi,
+					})
+				}
+			}
+			bs.Groups = append(bs.Groups, bg)
+		}
+		b.Scenarios = append(b.Scenarios, bs)
+	}
+	return b
+}
+
+// WriteBaseline marshals b to path as indented JSON (scenario report
+// conventions: trailing newline, stable field order).
+func WriteBaseline(path string, b *Baseline) error {
+	return scenario.WriteReport(path, b)
+}
+
+// LoadBaseline reads and sanity-checks a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("battle: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("battle: %s: %w", path, err)
+	}
+	if b.Schema != BaselineSchema {
+		return nil, fmt.Errorf("battle: %s: schema %q, want %q", path, b.Schema, BaselineSchema)
+	}
+	if len(b.Scenarios) == 0 {
+		return nil, fmt.Errorf("battle: %s: baseline covers no scenarios", path)
+	}
+	return &b, nil
+}
+
+// Regression is one gate failure: a cell that moved significantly in its
+// metric's worse direction relative to the baseline — or vanished.
+type Regression struct {
+	Scenario  string  `json:"scenario"`
+	Cores     int     `json:"cores"`
+	Scale     float64 `json:"scale"`
+	Scheduler string  `json:"scheduler"`
+	Metric    string  `json:"metric"`
+	Better    string  `json:"better"`
+	// Baseline vs current cell summaries; Missing marks a cell the re-run
+	// no longer produced at all.
+	BaselineMean float64 `json:"baseline_mean"`
+	BaselineLo   float64 `json:"baseline_ci_lo"`
+	BaselineHi   float64 `json:"baseline_ci_hi"`
+	Mean         float64 `json:"mean,omitempty"`
+	CILo         float64 `json:"ci_lo,omitempty"`
+	CIHi         float64 `json:"ci_hi,omitempty"`
+	Missing      bool    `json:"missing,omitempty"`
+}
+
+// String renders a one-line human-readable account of the failure. The
+// position includes the sweep scale so cells differing only by scale stay
+// distinguishable.
+func (r Regression) String() string {
+	where := fmt.Sprintf("%s/c%d/x%g/%s/%s", r.Scenario, r.Cores, r.Scale, r.Scheduler, r.Metric)
+	if r.Missing {
+		return fmt.Sprintf("%s: cell missing from the re-run (baseline mean %g)", where, r.BaselineMean)
+	}
+	dir := "above"
+	if r.Better == scenario.Higher {
+		dir = "below"
+	}
+	return fmt.Sprintf("%s: mean %g %s baseline CI [%g, %g] (baseline mean %g, current CI [%g, %g])",
+		where, r.Mean, dir, r.BaselineLo, r.BaselineHi, r.BaselineMean, r.CILo, r.CIHi)
+}
+
+// Check re-runs every scenario the baseline covers — at the baseline's
+// scale, replication count, bootstrap settings, AND base seed — and
+// returns the regressions plus the fresh battle reports (for the markdown
+// artifact). The recorded base seed is installed for the duration of the
+// re-run (and restored after), so a baseline captured under -seed 7 is
+// compared against the same seed universe whatever the checking process's
+// own -seed is; without that, every mean would shift for non-code reasons.
+// An error means a scenario could not be run at all; an empty regression
+// slice with a nil error is a pass.
+func Check(b *Baseline) ([]Regression, []*Report, error) {
+	prevSeed := core.BaseSeed()
+	core.SetBaseSeed(b.BaseSeed)
+	defer core.SetBaseSeed(prevSeed)
+	opt := Options{
+		Replications:   b.Replications,
+		Scale:          b.CLIScale,
+		Confidence:     b.Confidence,
+		BootstrapIters: b.BootstrapIters,
+	}
+	var (
+		regs    []Regression
+		reports []*Report
+	)
+	for _, bs := range b.Scenarios {
+		src := bs.Source
+		if src == "" {
+			src = bs.Scenario
+		}
+		sp, err := scenario.Load(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep, err := Run(sp, opt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("battle: %s: %w", bs.Scenario, err)
+		}
+		reports = append(reports, rep)
+		regs = append(regs, compareBaseline(&bs, rep)...)
+	}
+	return regs, reports, nil
+}
+
+// compareBaseline gates one scenario's re-run against its snapshot.
+func compareBaseline(bs *BaselineScenario, rep *Report) []Regression {
+	// Index current cells by (cores, scale, scheduler, metric). Scale
+	// floats round-trip JSON exactly, so exact keys are safe.
+	type cellKey struct {
+		cores  int
+		scale  float64
+		sched  string
+		metric string
+	}
+	cur := map[cellKey]Cell{}
+	for gi := range rep.Groups {
+		g := &rep.Groups[gi]
+		for mi := range g.Metrics {
+			mt := &g.Metrics[mi]
+			for _, c := range mt.Cells {
+				cur[cellKey{g.Cores, g.Scale, c.Scheduler, mt.Metric}] = c
+			}
+		}
+	}
+	var regs []Regression
+	for _, bg := range bs.Groups {
+		for _, e := range bg.Entries {
+			reg := Regression{
+				Scenario: bs.Scenario, Cores: bg.Cores, Scale: bg.Scale,
+				Scheduler: e.Scheduler, Metric: e.Metric, Better: e.Better,
+				BaselineMean: e.Mean, BaselineLo: e.CILo, BaselineHi: e.CIHi,
+			}
+			c, ok := cur[cellKey{bg.Cores, bg.Scale, e.Scheduler, e.Metric}]
+			if !ok {
+				reg.Missing = true
+				regs = append(regs, reg)
+				continue
+			}
+			reg.Mean, reg.CILo, reg.CIHi = c.Sample.Mean, c.CILo, c.CIHi
+			if regressed(e, c) {
+				regs = append(regs, reg)
+			}
+		}
+	}
+	return regs
+}
+
+// regressed applies the gate: significant movement in the worse direction.
+// Both intervals must reject the other side's mean — the current mean sits
+// outside the baseline CI on the losing side, and the baseline mean sits
+// outside the current CI — so the gate fires on real shifts, not interval
+// edges grazing each other.
+func regressed(base BaselineEntry, c Cell) bool {
+	if base.Better == scenario.Higher {
+		return c.Sample.Mean < base.CILo && base.Mean > c.CIHi
+	}
+	return c.Sample.Mean > base.CIHi && base.Mean < c.CILo
+}

@@ -1,0 +1,142 @@
+package battle
+
+// Markdown rendering of battle reports: the human-readable "who wins
+// where, by how much" view — per-cell means with confidence intervals,
+// head-to-head verdicts, and the scoreboard with a one-line conclusion.
+// The rendering is a pure function of the report, so markdown output is
+// byte-identical wherever the report is.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// Markdown renders the report as a GitHub-flavoured markdown battle
+// matrix.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Battle matrix: %s\n\n", r.Scenario)
+	if r.Description != "" {
+		fmt.Fprintf(&b, "%s\n\n", r.Description)
+	}
+	fmt.Fprintf(&b, "%d seeds %v · %.0f%% bootstrap CIs (%d resamples) · base seed %d · scale %s\n",
+		len(r.Seeds), r.Seeds, r.Confidence*100, r.BootstrapIters, r.BaseSeed, fmtF(r.CLIScale))
+	for gi := range r.Groups {
+		g := &r.Groups[gi]
+		fmt.Fprintf(&b, "\n## %d cores · scale %s\n\n", g.Cores, fmtF(g.Scale))
+		g.cellTable(&b)
+		g.pairTable(&b)
+		g.scoreboard(&b)
+	}
+	return b.String()
+}
+
+// cellTable writes the per-scheduler summary table: one row per metric,
+// one column per scheduler, cells as "mean [ci_lo, ci_hi]".
+func (g *Group) cellTable(b *strings.Builder) {
+	fmt.Fprintf(b, "| metric |")
+	for _, s := range g.Schedulers {
+		fmt.Fprintf(b, " %s |", s)
+	}
+	fmt.Fprintf(b, "\n|---|")
+	for range g.Schedulers {
+		fmt.Fprintf(b, "---|")
+	}
+	fmt.Fprintln(b)
+	for mi := range g.Metrics {
+		mt := &g.Metrics[mi]
+		fmt.Fprintf(b, "| %s %s |", mt.Metric, arrow(mt.Better))
+		for _, c := range mt.Cells {
+			fmt.Fprintf(b, " %s [%s, %s] |", fmtF(c.Sample.Mean), fmtF(c.CILo), fmtF(c.CIHi))
+		}
+		fmt.Fprintln(b)
+	}
+}
+
+// pairTable writes every head-to-head verdict.
+func (g *Group) pairTable(b *strings.Builder) {
+	any := false
+	for mi := range g.Metrics {
+		if len(g.Metrics[mi].Pairs) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintf(b, "\n### Head-to-head\n\n")
+	fmt.Fprintln(b, "| metric | matchup | verdict | margin | Δ mean [CI] | effect |")
+	fmt.Fprintln(b, "|---|---|---|---|---|---|")
+	for mi := range g.Metrics {
+		mt := &g.Metrics[mi]
+		for _, p := range mt.Pairs {
+			verdict := "tie"
+			margin := "—"
+			if p.Winner != "" {
+				verdict = fmt.Sprintf("**%s**", p.Winner)
+				margin = fmt.Sprintf("%.1f%%", p.MarginPct)
+			}
+			fmt.Fprintf(b, "| %s %s | %s vs %s | %s | %s | %s [%s, %s] | %s |\n",
+				mt.Metric, arrow(mt.Better), p.A, p.B, verdict, margin,
+				fmtF(p.DeltaMean), fmtF(p.DeltaCILo), fmtF(p.DeltaCIHi), fmtF(p.EffectSize))
+		}
+	}
+}
+
+// scoreboard writes the tally and the group's one-line conclusion.
+func (g *Group) scoreboard(b *strings.Builder) {
+	if len(g.Scoreboard) < 2 {
+		return
+	}
+	fmt.Fprintf(b, "\n### Scoreboard\n\n")
+	fmt.Fprintln(b, "| scheduler | wins | losses | ties |")
+	fmt.Fprintln(b, "|---|---|---|---|")
+	for _, s := range g.Scoreboard {
+		fmt.Fprintf(b, "| %s | %d | %d | %d |\n", s.Scheduler, s.Wins, s.Losses, s.Ties)
+	}
+	fmt.Fprintf(b, "\n%s\n", g.conclusion())
+}
+
+// conclusion phrases the scoreboard as the paper would: a leader when one
+// scheduler out-wins the rest, the no-dominator finding otherwise.
+func (g *Group) conclusion() string {
+	best, runnerUp := -1, -1
+	var leader string
+	for _, s := range g.Scoreboard {
+		switch {
+		case s.Wins > best:
+			runnerUp = best
+			best, leader = s.Wins, s.Scheduler
+		case s.Wins > runnerUp:
+			runnerUp = s.Wins
+		}
+	}
+	if best > runnerUp && best > 0 {
+		undefeated := ""
+		for _, s := range g.Scoreboard {
+			if s.Scheduler == leader && s.Losses == 0 {
+				undefeated = ", undefeated"
+			}
+		}
+		return fmt.Sprintf("`%s` leads this matchup with %d significant wins%s.", leader, best, undefeated)
+	}
+	return "No scheduler dominates: wins split across metrics — the paper's conclusion."
+}
+
+// arrow marks the winning direction in table rows.
+func arrow(better string) string {
+	if better == scenario.Higher {
+		return "↑"
+	}
+	return "↓"
+}
+
+// fmtF renders a float compactly and deterministically: 4 significant
+// digits, no exponent noise for the usual magnitudes.
+func fmtF(v float64) string {
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}

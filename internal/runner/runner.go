@@ -43,6 +43,18 @@ func SetWorkers(n int) {
 // index order.
 func Map[T any](n int, fn func(i int) T) []T { return MapN(n, Workers(), fn) }
 
+// WithWorkers runs fn with the default pool width temporarily set to n,
+// then restores the previous setting (including "auto"). Byte-identity
+// tests use it to run the same grid at -jobs 1 and -jobs 8 and compare
+// outputs; it is not safe against concurrent SetWorkers callers, which
+// matches the CLI's set-once usage.
+func WithWorkers(n int, fn func()) {
+	prev := defaultWorkers.Load()
+	SetWorkers(n)
+	defer defaultWorkers.Store(prev)
+	fn()
+}
+
 // TrialPanic is the value MapN re-panics with when a job panicked: it
 // preserves the failing job's index, the original panic value, and the
 // stack captured at the panic site, so callers recovering it (e.g. the

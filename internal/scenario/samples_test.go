@@ -1,0 +1,73 @@
+package scenario
+
+import "testing"
+
+func TestTrialReportMetrics(t *testing.T) {
+	tr := TrialReport{
+		Throughput: &ThroughputReport{
+			OpsPerSec: 1234,
+			Entries: []EntryReport{
+				{Label: "web", Latency: &LatencyReport{Count: 10, P99US: 900}},
+				{Label: "batch"},
+			},
+		},
+		Latency: &LatencyReport{Count: 10, MeanUS: 100, P50US: 90, P95US: 500, P99US: 900, MaxUS: 1500},
+	}
+	defs := tr.Metrics()
+	wantOrder := []string{"ops_per_sec", "mean_us", "p50_us", "p95_us", "p99_us", "max_us", "p99_us[web]"}
+	if len(defs) != len(wantOrder) {
+		t.Fatalf("metrics = %+v, want %v", defs, wantOrder)
+	}
+	for i, d := range defs {
+		if d.Name != wantOrder[i] {
+			t.Fatalf("metric[%d] = %q, want %q", i, d.Name, wantOrder[i])
+		}
+		wantBetter := Lower
+		if d.Name == "ops_per_sec" {
+			wantBetter = Higher
+		}
+		if d.Better != wantBetter {
+			t.Fatalf("%s direction = %q, want %q", d.Name, d.Better, wantBetter)
+		}
+	}
+	if v, ok := tr.MetricValue("p99_us[web]"); !ok || v != 900 {
+		t.Fatalf("p99_us[web] = %g, %v", v, ok)
+	}
+	if v, ok := tr.MetricValue("ops_per_sec"); !ok || v != 1234 {
+		t.Fatalf("ops_per_sec = %g, %v", v, ok)
+	}
+	if _, ok := tr.MetricValue("p99_us[batch]"); ok {
+		t.Fatal("batch records no latency; metric must be absent")
+	}
+	if _, ok := tr.MetricValue("nonesuch"); ok {
+		t.Fatal("unknown metric must be absent")
+	}
+
+	// A report without selected sections exposes nothing.
+	bare := TrialReport{}
+	if defs := bare.Metrics(); len(defs) != 0 {
+		t.Fatalf("bare report metrics = %+v", defs)
+	}
+}
+
+func TestWithSeedsDoesNotAliasResolved(t *testing.T) {
+	sp, err := Parse("mini.json", []byte(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := sp.WithSeeds([]int64{5, 6})
+	if len(clone.Seeds) != 2 || clone.Seeds[0] != 5 {
+		t.Fatalf("clone seeds = %v", clone.Seeds)
+	}
+	if len(sp.Seeds) != 0 {
+		t.Fatalf("original seeds mutated: %v", sp.Seeds)
+	}
+	// Re-validating the clone must not clobber the original's resolved
+	// scheduler slice through a shared backing array.
+	if err := clone.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.resolved) != 1 || string(sp.resolved[0].kind) != "cfs" {
+		t.Fatalf("original resolved disturbed: %+v", sp.resolved)
+	}
+}

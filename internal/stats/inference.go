@@ -1,0 +1,156 @@
+// Inference primitives for multi-seed replication studies: sample
+// summaries, seeded deterministic bootstrap confidence intervals, paired
+// per-seed deltas, and effect sizes. The battle subsystem turns these into
+// win/loss/tie verdicts; single-run scheduler comparisons are
+// noise-dominated, so every verdict in a battle matrix rests on the
+// interval estimates computed here.
+//
+// Everything is a pure function of its inputs (including the bootstrap,
+// which draws from a private seeded generator), so reports built on top
+// stay byte-identical at any worker-pool width.
+
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Sample summarises one replicated measurement: n per-seed values of a
+// single (scenario, metric, scheduler) cell.
+type Sample struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"` // sample (n-1) standard deviation
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// Summarize computes a Sample over xs. The zero Sample is returned for
+// empty input; a single value yields Stddev 0.
+func Summarize(xs []float64) Sample {
+	if len(xs) == 0 {
+		return Sample{}
+	}
+	s := Sample{N: len(xs), Mean: Mean(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs[1:] {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Stddev = SampleStddev(xs)
+	return s
+}
+
+// SampleStddev returns the sample (n-1 denominator) standard deviation of
+// xs, the estimator inference wants; Stddev is its population counterpart.
+// Fewer than two values yield 0.
+func SampleStddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// splitmix64 is a tiny deterministic generator for bootstrap resampling.
+// It is private to each BootstrapMeanCI call, so concurrent cells never
+// share state and results depend only on (values, conf, iters, seed).
+type splitmix64 struct{ s uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n) via Lemire's multiply-shift.
+func (r *splitmix64) intn(n int) int {
+	hi, _ := bits.Mul64(r.next(), uint64(n))
+	return int(hi)
+}
+
+// BootstrapMeanCI returns a percentile-bootstrap confidence interval for
+// the mean of xs at confidence conf (e.g. 0.95), using iters resamples
+// drawn from a generator seeded with seed. The interval is a pure function
+// of the arguments: the same values, confidence, iteration count, and seed
+// always produce the same bounds, which is what lets battle reports be
+// byte-identical at any -jobs width.
+//
+// Degenerate inputs collapse the interval: no values yields (0, 0), a
+// single value (x, x).
+func BootstrapMeanCI(xs []float64, conf float64, iters int, seed int64) (lo, hi float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	if n == 1 {
+		return xs[0], xs[0]
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	if conf <= 0 || conf >= 1 {
+		conf = 0.95
+	}
+	rng := splitmix64{s: uint64(seed)}
+	means := make([]float64, iters)
+	for it := range means {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += xs[rng.intn(n)]
+		}
+		means[it] = sum / float64(n)
+	}
+	sort.Float64s(means)
+	alpha := (1 - conf) / 2
+	loIdx := int(alpha * float64(iters))
+	hiIdx := int((1-alpha)*float64(iters)) - 1
+	if hiIdx < loIdx {
+		hiIdx = loIdx
+	}
+	if hiIdx >= iters {
+		hiIdx = iters - 1
+	}
+	return means[loIdx], means[hiIdx]
+}
+
+// PairedDeltas returns b[i] - a[i] for matched replications: index i of
+// both slices must come from the same seed, which the battle replication
+// driver guarantees by running every scheduler over the same seed axis.
+// The slices must be the same length; mismatched lengths are a programming
+// error and panic.
+func PairedDeltas(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("stats: PairedDeltas length mismatch")
+	}
+	d := make([]float64, len(a))
+	for i := range a {
+		d[i] = b[i] - a[i]
+	}
+	return d
+}
+
+// CohenD returns the one-sample Cohen's d of xs — mean over sample
+// stddev — the paired-comparison effect size when xs holds per-seed
+// deltas. It is 0 when undefined (fewer than two values, or zero
+// variance), keeping reports JSON-marshalable; a significant verdict with
+// effect 0 means "perfectly consistent direction, zero spread".
+func CohenD(xs []float64) float64 {
+	sd := SampleStddev(xs)
+	if sd == 0 {
+		return 0
+	}
+	return Mean(xs) / sd
+}

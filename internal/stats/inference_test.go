@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 2, 6, 8})
+	if s.N != 4 || s.Mean != 5 || s.Min != 2 || s.Max != 8 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	// Sample stddev of {4,2,6,8}: variance = (1+9+1+9)/3 = 20/3.
+	want := math.Sqrt(20.0 / 3.0)
+	if math.Abs(s.Stddev-want) > 1e-12 {
+		t.Fatalf("Stddev = %g, want %g", s.Stddev, want)
+	}
+	if z := Summarize(nil); z != (Sample{}) {
+		t.Fatalf("Summarize(nil) = %+v, want zero", z)
+	}
+}
+
+func TestSampleStddevEdges(t *testing.T) {
+	if got := SampleStddev(nil); got != 0 {
+		t.Fatalf("SampleStddev(nil) = %g", got)
+	}
+	if got := SampleStddev([]float64{3}); got != 0 {
+		t.Fatalf("SampleStddev(one) = %g", got)
+	}
+	if got := SampleStddev([]float64{5, 5, 5}); got != 0 {
+		t.Fatalf("SampleStddev(const) = %g", got)
+	}
+}
+
+func TestBootstrapMeanCIDeterministic(t *testing.T) {
+	xs := []float64{10, 12, 9, 14, 11}
+	lo1, hi1 := BootstrapMeanCI(xs, 0.95, 1000, 42)
+	lo2, hi2 := BootstrapMeanCI(xs, 0.95, 1000, 42)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Fatalf("same seed diverged: [%g,%g] vs [%g,%g]", lo1, hi1, lo2, hi2)
+	}
+	if !(lo1 <= hi1) {
+		t.Fatalf("inverted interval [%g, %g]", lo1, hi1)
+	}
+	// The interval must bracket plausible means: within the data range and
+	// containing the point estimate for this symmetric-ish sample.
+	m := Mean(xs)
+	if lo1 < 9 || hi1 > 14 || m < lo1 || m > hi1 {
+		t.Fatalf("implausible interval [%g, %g] around mean %g", lo1, hi1, m)
+	}
+}
+
+func TestBootstrapMeanCIEdges(t *testing.T) {
+	if lo, hi := BootstrapMeanCI(nil, 0.95, 100, 1); lo != 0 || hi != 0 {
+		t.Fatalf("empty input: [%g, %g]", lo, hi)
+	}
+	if lo, hi := BootstrapMeanCI([]float64{7}, 0.95, 100, 1); lo != 7 || hi != 7 {
+		t.Fatalf("single value: [%g, %g]", lo, hi)
+	}
+	// Constant data collapses the interval to the constant.
+	if lo, hi := BootstrapMeanCI([]float64{3, 3, 3, 3}, 0.95, 100, 1); lo != 3 || hi != 3 {
+		t.Fatalf("constant data: [%g, %g]", lo, hi)
+	}
+}
+
+func TestPairedDeltas(t *testing.T) {
+	d := PairedDeltas([]float64{1, 2, 3}, []float64{2, 2, 1})
+	if d[0] != 1 || d[1] != 0 || d[2] != -2 {
+		t.Fatalf("PairedDeltas = %v", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	PairedDeltas([]float64{1}, []float64{1, 2})
+}
+
+func TestCohenD(t *testing.T) {
+	if got := CohenD([]float64{5, 5, 5}); got != 0 {
+		t.Fatalf("zero-variance CohenD = %g, want 0", got)
+	}
+	if got := CohenD(nil); got != 0 {
+		t.Fatalf("empty CohenD = %g, want 0", got)
+	}
+	// mean 2, sample stddev 2 -> d = 1.
+	xs := []float64{0, 2, 4}
+	if got := CohenD(xs); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("CohenD = %g, want 1", got)
+	}
+}

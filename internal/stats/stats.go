@@ -212,6 +212,12 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.count }
 
+// Empty-histogram contract: every summary accessor — Mean, Min, Max,
+// Quantile — returns exactly 0 when Count() == 0, never an uninitialised
+// or stale extreme. Callers that must distinguish "no samples" from "all
+// samples were zero" check Count() first (latencyReport does, to omit
+// empty sections entirely).
+
 // Mean returns the mean latency, or 0 with no samples.
 func (h *Histogram) Mean() time.Duration {
 	if h.count == 0 {
@@ -220,19 +226,31 @@ func (h *Histogram) Mean() time.Duration {
 	return h.sum / time.Duration(h.count)
 }
 
-// Min returns the smallest observed sample.
-func (h *Histogram) Min() time.Duration { return h.min }
+// Min returns the smallest observed sample, or 0 with no samples.
+func (h *Histogram) Min() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
 
-// Max returns the largest observed sample.
-func (h *Histogram) Max() time.Duration { return h.max }
+// Max returns the largest observed sample, or 0 with no samples.
+func (h *Histogram) Max() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
 
 // Quantile returns the latency at quantile q in [0,1], using the lower edge
-// of the containing bucket.
+// of the containing bucket. It is 0 with no samples; q is clamped into
+// [0,1], and a NaN q reads as 0 (the minimum) rather than poisoning the
+// bucket walk.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h.count == 0 {
 		return 0
 	}
-	if q < 0 {
+	if q < 0 || math.IsNaN(q) {
 		q = 0
 	}
 	if q > 1 {
@@ -276,7 +294,7 @@ func (h *Histogram) Merge(o *Histogram) {
 // String summarises the distribution.
 func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
-		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.max)
+		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
 }
 
 // Counter is a named monotonically increasing count.

@@ -272,3 +272,45 @@ func TestSeriesSetPutMerge(t *testing.T) {
 		t.Fatalf("Put did not replace series: %v", v)
 	}
 }
+
+// TestHistogramEmptyContract pins the empty-histogram contract: every
+// summary accessor returns exactly 0 with no samples — never an
+// uninitialised or stale extreme — and a NaN quantile cannot poison the
+// bucket walk.
+func TestHistogramEmptyContract(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty summary = mean %v min %v max %v, want all 0", h.Mean(), h.Min(), h.Max())
+	}
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2, math.NaN()} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if got := h.String(); got != "n=0 mean=0s p50=0s p99=0s max=0s" {
+		t.Fatalf("empty String = %q", got)
+	}
+
+	// Merging empties stays empty; merging an empty into a populated
+	// histogram must not disturb its min.
+	var o Histogram
+	h.Merge(&o)
+	h.Merge(nil)
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty merge changed state: %v", h.String())
+	}
+	h.Observe(5 * time.Millisecond)
+	h.Merge(&o)
+	if h.Count() != 1 || h.Min() != 5*time.Millisecond {
+		t.Fatalf("merge of empty disturbed samples: %v", h.String())
+	}
+
+	// A NaN quantile on a populated histogram reads as q=0, the lowest
+	// bucket with samples, not garbage.
+	if got, want := h.Quantile(math.NaN()), h.Quantile(0); got != want {
+		t.Fatalf("Quantile(NaN) = %v, want Quantile(0) = %v", got, want)
+	}
+}
