@@ -17,7 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/stats"
+	"repro/internal/probe"
 )
 
 func main() {
@@ -48,13 +48,13 @@ func main() {
 }
 
 // render draws one series set (core0..coreN) as an ASCII heatmap.
-func render(set *stats.SeriesSet, width int) {
+func render(set *probe.Set, width int) {
 	names := set.Names()
 	if len(names) == 0 {
 		return
 	}
 	var tEnd time.Duration
-	set.Each(func(s *stats.Series) {
+	set.Each(func(s *probe.Series) {
 		if p := s.Last(); p.T > tEnd {
 			tEnd = p.T
 		}
@@ -64,7 +64,7 @@ func render(set *stats.SeriesSet, width int) {
 	}
 	glyphs := []byte(" .:-=+*#%@")
 	var max float64
-	set.Each(func(s *stats.Series) {
+	set.Each(func(s *probe.Series) {
 		if m := s.Max(); m > max {
 			max = m
 		}
@@ -87,8 +87,8 @@ func render(set *stats.SeriesSet, width int) {
 			}
 			b.WriteByte(glyphs[idx])
 		}
-		fmt.Printf("%-8s|%s|\n", name, b.String())
+		fmt.Printf("%-14s|%s|\n", name, b.String())
 	}
-	fmt.Printf("%-8s 0s%*s\n", "", width-2, fmt.Sprintf("%.1fs", tEnd.Seconds()))
+	fmt.Printf("%-14s 0s%*s\n", "", width-2, fmt.Sprintf("%.1fs", tEnd.Seconds()))
 	fmt.Printf("scale: ' '=0 .. '@'=%.0f runnable threads\n\n", max)
 }

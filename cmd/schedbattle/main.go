@@ -14,6 +14,7 @@
 //	schedbattle -all -scale 0.2 -jobs 16 -seed 7 -out results.json
 //	schedbattle -scenarios
 //	schedbattle -scenario web-tail -scale 0.1 -out report.json
+//	schedbattle -scenario web-tail -scale 0.1 -series web-tail.csv
 //	schedbattle -scenario my-scenario.json
 //	schedbattle -battle web-tail -scale 0.1 -out battle.json -md battle.md
 //	schedbattle -battle all -scale 0.05 -replications 5 -baseline baselines/ci.json
@@ -42,7 +43,7 @@ func main() {
 		run       = flag.String("run", "", "experiment id to run")
 		all       = flag.Bool("all", false, "run every experiment")
 		scale     = flag.Float64("scale", 1.0, "duration scale in (0,1]: 1.0 = paper-sized")
-		seriesDir = flag.String("series", "", "directory to write gnuplot series files into")
+		seriesDir = flag.String("series", "", "with -run/-all: directory for gnuplot series files; with -scenario: path for the probe-series CSV export")
 		jobs      = flag.Int("jobs", runtime.GOMAXPROCS(0), "trial-grid worker pool width")
 		seed      = flag.Int64("seed", 0, "base-seed perturbation for every trial (0 = the paper-tuned seeds)")
 		out       = flag.String("out", "", "write a structured JSON report to this file (\"-\" = stdout)")
@@ -112,7 +113,7 @@ func main() {
 	}
 
 	if *scen != "" {
-		if err := runScenario(*scen, *scale, *out); err != nil {
+		if err := runScenario(*scen, *scale, *out, *seriesDir); err != nil {
 			fmt.Fprintf(os.Stderr, "schedbattle: %v\n", err)
 			os.Exit(1)
 		}

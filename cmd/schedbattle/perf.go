@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -36,10 +37,12 @@ type perfResult struct {
 }
 
 // perfScenarios covers the regimes that bound experiment wall-clock time:
-// a saturated server workload under each scheduler (event-dense) and a
-// mostly-idle machine (tick-dominated before the tickless engine).
+// a saturated server workload under each scheduler (event-dense), the
+// same workload with the full telemetry probe set attached (pricing the
+// probe layer against its zero-probe twin), and a mostly-idle machine
+// (tick-dominated before the tickless engine).
 func perfScenarios() []perfScenario {
-	server := func(kind core.SchedulerKind) func() *sim.Machine {
+	server := func(kind core.SchedulerKind, probes bool) func() *sim.Machine {
 		return func() *sim.Machine {
 			m := core.NewMachine(core.MachineConfig{Cores: 32, Kind: kind, Seed: 13, KernelNoise: true})
 			spec, err := apps.ByName("sysbench")
@@ -47,12 +50,16 @@ func perfScenarios() []perfScenario {
 				panic(err)
 			}
 			spec.New(m, apps.Env{Cores: 32})
+			if probes {
+				probe.MustAttach(m, probe.Options{Probes: probe.Names()})
+			}
 			return m
 		}
 	}
 	return []perfScenario{
-		{name: "sysbench-ule-32", window: apps.ShellWarmup + 3*time.Second, build: server(core.ULE)},
-		{name: "sysbench-cfs-32", window: apps.ShellWarmup + 3*time.Second, build: server(core.CFS)},
+		{name: "sysbench-ule-32", window: apps.ShellWarmup + 3*time.Second, build: server(core.ULE, false)},
+		{name: "sysbench-ule-32-probed", window: apps.ShellWarmup + 3*time.Second, build: server(core.ULE, true)},
+		{name: "sysbench-cfs-32", window: apps.ShellWarmup + 3*time.Second, build: server(core.CFS, false)},
 		{name: "idle-ule-32", window: 10 * time.Second, build: func() *sim.Machine {
 			return core.NewMachine(core.MachineConfig{Cores: 32, Kind: core.ULE, Seed: 13})
 		}},

@@ -33,8 +33,10 @@ func listScenarios() error {
 
 // runScenario loads, runs, and reports one scenario. The report goes to
 // outPath ("" or "-" = stdout); a one-line summary per trial goes to
-// stderr so a redirected stdout stays pure JSON.
-func runScenario(nameOrPath string, scale float64, outPath string) error {
+// stderr so a redirected stdout stays pure JSON. seriesPath, when set,
+// receives the probe-series CSV export (header-only when the spec has no
+// series block).
+func runScenario(nameOrPath string, scale float64, outPath, seriesPath string) error {
 	sp, err := scenario.Load(nameOrPath)
 	if err != nil {
 		return err
@@ -51,6 +53,9 @@ func runScenario(nameOrPath string, scale float64, outPath string) error {
 		if tr.Latency != nil {
 			line += fmt.Sprintf("  p50=%.4gus p99=%.4gus", tr.Latency.P50US, tr.Latency.P99US)
 		}
+		if v, ok := tr.Derived[scenario.MetricConvergenceUS]; ok {
+			line += fmt.Sprintf("  conv=%.4gus", v)
+		}
 		fmt.Fprintln(os.Stderr, line)
 	}
 	if err := scenario.WriteReport(outPath, rep); err != nil {
@@ -58,6 +63,12 @@ func runScenario(nameOrPath string, scale float64, outPath string) error {
 	}
 	if outPath != "" && outPath != "-" {
 		fmt.Fprintf(os.Stderr, "schedbattle: wrote %s\n", outPath)
+	}
+	if seriesPath != "" {
+		if err := os.WriteFile(seriesPath, rep.SeriesCSV(), 0o644); err != nil {
+			return fmt.Errorf("writing series CSV: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "schedbattle: wrote %s\n", seriesPath)
 	}
 	return nil
 }

@@ -143,6 +143,61 @@ func TestBattleDeterminismAcrossJobs(t *testing.T) {
 	}
 }
 
+// TestBattleConvergenceVerdictAcrossJobs is the telemetry acceptance
+// gate: a bundled scenario with a series block (web-tail) must produce a
+// battle verdict over the derived convergence_us metric, byte-identical
+// at -jobs 1 and -jobs 8.
+func TestBattleConvergenceVerdictAcrossJobs(t *testing.T) {
+	sp, err := scenario.LoadBuiltin("web-tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Report {
+		rep, err := Run(sp, Options{Replications: 3, Scale: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	var j1, j8 *Report
+	runner.WithWorkers(1, func() { j1 = run() })
+	runner.WithWorkers(8, func() { j8 = run() })
+
+	found := false
+	for _, g := range j1.Groups {
+		for _, mt := range g.Metrics {
+			if mt.Metric != scenario.MetricConvergenceUS {
+				continue
+			}
+			found = true
+			if mt.Better != scenario.Lower {
+				t.Fatalf("convergence_us direction = %q, want lower", mt.Better)
+			}
+			if len(mt.Cells) != 2 || len(mt.Pairs) != 1 {
+				t.Fatalf("convergence_us table malformed: %d cells, %d pairs", len(mt.Cells), len(mt.Pairs))
+			}
+			if v := mt.Pairs[0].Verdict; v != VerdictWin && v != VerdictLoss && v != VerdictTie {
+				t.Fatalf("convergence_us verdict = %q", v)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no convergence_us metric table in the web-tail battle")
+	}
+
+	b1, err := scenario.MarshalReport(j1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := scenario.MarshalReport(j8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b8) {
+		t.Fatal("convergence battle matrix differs between -jobs 1 and -jobs 8")
+	}
+}
+
 // TestBattleBootstrapStability: identical runs draw identical bootstrap
 // streams (the generators are seeded from stable cell keys), so repeated
 // in-process runs agree bit-for-bit.

@@ -14,8 +14,8 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/cfs"
+	"repro/internal/probe"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/topo"
 	"repro/internal/ule"
 )
@@ -114,8 +114,9 @@ type Result struct {
 	ID    string
 	Title string
 	Rows  []Row
-	// Series holds figure curves, e.g. per-thread cumulative runtimes.
-	Series map[string]*stats.SeriesSet
+	// Series holds figure curves, e.g. per-thread cumulative runtimes,
+	// recorded through the probe telemetry layer.
+	Series map[string]*probe.Set
 	Notes  []string
 }
 
@@ -125,16 +126,16 @@ func (r *Result) AddNote(format string, args ...any) {
 }
 
 // AddSeries installs a named series set, allocating the map on first use.
-func (r *Result) AddSeries(name string, set *stats.SeriesSet) {
+func (r *Result) AddSeries(name string, set *probe.Set) {
 	if r.Series == nil {
-		r.Series = map[string]*stats.SeriesSet{}
+		r.Series = map[string]*probe.Set{}
 	}
 	r.Series[name] = set
 }
 
 // Merge appends o's rows and notes and adopts its series sets. When both
 // results carry a set of the same name, o's series are folded in via
-// stats.SeriesSet.Merge, which *replaces* same-named series — so drivers
+// probe.Set.Merge, which *replaces* same-named series — so drivers
 // whose sub-results can record identically-named series (e.g. repeat
 // trials of one kind) must give the sets or series distinct names to keep
 // both recordings. Folding sub-results in stable trial order keeps merged

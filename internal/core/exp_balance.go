@@ -5,23 +5,27 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
 // fig6Outcome is one balance-convergence trial's output: the per-core
-// runnable-count series (the heatmap rows) and the summary result.
+// runnable-depth series (the heatmap rows, recorded by the runq probe)
+// and the summary result.
 type fig6Outcome struct {
-	counts *stats.SeriesSet
+	counts *probe.Set
 	result *Result
 }
 
 // fig6Trial declares one §6.1 run: 512 spinning threads pinned to core 0,
 // unpinned at 14.5 s, and the balancer left to even them out over 32 cores.
 // The measured window runs to the unpin point; the convergence phase lives
-// in the extractor, which keeps driving the machine until the spread closes
-// or the deadline passes.
+// in the extractor, which keeps driving the machine until the probe's
+// convergence detector fires (per-core runnable spread ≤ 1 at a sample) or
+// the deadline passes — a flag check per event boundary, not per-boundary
+// sampling.
 func fig6Trial(kind SchedulerKind, scale float64, uleBug bool) Trial[fig6Outcome] {
 	machineKind := kind
 	if uleBug {
@@ -33,7 +37,7 @@ func fig6Trial(kind SchedulerKind, scale float64, uleBug bool) Trial[fig6Outcome
 	}
 	unpinAt := 14500 * time.Millisecond
 
-	counts := stats.NewSeriesSet()
+	var att *probe.Attachment
 	return Trial[fig6Outcome]{
 		Name:    fmt.Sprintf("fig6/%s", machineKind),
 		Machine: MachineConfig{Cores: 32, Kind: machineKind, Seed: 3},
@@ -44,14 +48,7 @@ func fig6Trial(kind SchedulerKind, scale float64, uleBug bool) Trial[fig6Outcome
 					Prog: &workload.Loop{Burst: 10 * time.Millisecond},
 				})
 			}
-			var buf []int
-			m.Every(250*time.Millisecond, 250*time.Millisecond, func() bool {
-				buf = m.RunnableCountsInto(buf)
-				for i, n := range buf {
-					counts.Get(fmt.Sprintf("core%d", i)).Add(m.Now(), float64(n))
-				}
-				return true
-			})
+			att = probe.MustAttach(m, probe.Options{Probes: []string{"runq"}})
 		},
 		Window: unpinAt,
 		Extract: func(m *sim.Machine) fig6Outcome {
@@ -60,26 +57,13 @@ func fig6Trial(kind SchedulerKind, scale float64, uleBug bool) Trial[fig6Outcome
 			}
 			perfect := float64(nThreads / 32) // per-core count when exactly even
 
-			// Run until balanced (spread <= 1) or the deadline. The
-			// predicate runs at every scheduling boundary, so it samples
-			// into reused buffers.
+			// Run until the probe observes a balanced sample (spread <= 1)
+			// or the deadline.
 			deadline := unpinAt + scaleDur(600*time.Second, scale, 30*time.Second)
-			balancedAt := time.Duration(0)
-			var cs []int
-			fs := make([]float64, len(m.Cores))
-			m.RunUntil(func() bool {
-				cs = m.RunnableCountsInto(cs)
-				for i, n := range cs {
-					fs[i] = float64(n)
-				}
-				if stats.MaxMinSpread(fs) <= 1 {
-					balancedAt = m.Now()
-					return true
-				}
-				return false
-			}, deadline)
+			att.ArmConvergence(m.Now())
+			m.RunUntil(func() bool { return att.Converged() }, deadline)
 
-			cs = m.RunnableCountsInto(cs)
+			cs := m.RunnableCounts()
 			final := make([]float64, len(cs))
 			total := 0
 			for i, n := range cs {
@@ -93,33 +77,34 @@ func fig6Trial(kind SchedulerKind, scale float64, uleBug bool) Trial[fig6Outcome
 				"migrations":     float64(m.Counters.Value("cfs.balance_migrations") + m.Counters.Value("ule.balance_migrations") + m.Counters.Value("ule.steals")),
 				"perfect_percpu": perfect,
 			}
-			if balancedAt > 0 {
+			if balancedAt, ok := att.ConvergedAt(); ok {
 				vals["time_to_balance_s"] = (balancedAt - unpinAt).Seconds()
 			} else {
 				vals["time_to_balance_s"] = -1 // never within deadline
 			}
 			r.Rows = append(r.Rows, Row{Label: string(kind), Values: vals,
 				Order: []string{"threads", "time_to_balance_s", "final_spread", "migrations", "perfect_percpu"}})
-			r.AddSeries(string(machineKind), counts)
-			return fig6Outcome{counts: counts, result: r}
+			r.AddSeries(string(machineKind), att.Set())
+			return fig6Outcome{counts: att.Set(), result: r}
 		},
 	}
 }
 
 // runFig6 executes a single fig6 trial on the calling goroutine; the
 // experiment drivers run grids instead, this remains for focused tests.
-func runFig6(kind SchedulerKind, scale float64, uleBug bool) (*stats.SeriesSet, *Result) {
+func runFig6(kind SchedulerKind, scale float64, uleBug bool) (*probe.Set, *Result) {
 	out := RunTrials([]Trial[fig6Outcome]{fig6Trial(kind, scale, uleBug)})
 	return out[0].counts, out[0].result
 }
 
 // fig7Trial declares one c-ray startup run: the cascading-barrier wake
 // chain, measured as time until all 512 workers are runnable. The returned
-// series set is the trial's per-core runnable-count recording; it is
-// allocated at construction so the driver can adopt it once the grid ran.
-func fig7Trial(kind SchedulerKind, scale float64) (Trial[Row], *stats.SeriesSet) {
+// series set is the trial's per-core runnable-depth recording; it is
+// allocated at construction so the driver can adopt it once the grid ran,
+// and the runq probe records into it.
+func fig7Trial(kind SchedulerKind, scale float64) (Trial[Row], *probe.Set) {
 	var in *apps.Instance
-	counts := stats.NewSeriesSet()
+	counts := probe.NewSet(0)
 	allRunnable := time.Duration(-1)
 	launchedAt := time.Duration(0)
 	trial := Trial[Row]{
@@ -127,14 +112,7 @@ func fig7Trial(kind SchedulerKind, scale float64) (Trial[Row], *stats.SeriesSet)
 		Machine: MachineConfig{Cores: 32, Kind: kind, Seed: 4, KernelNoise: true},
 		Workload: func(m *sim.Machine) {
 			in = apps.CRay().New(m, apps.Env{Cores: 32})
-			var buf []int
-			m.Every(250*time.Millisecond, 250*time.Millisecond, func() bool {
-				buf = m.RunnableCountsInto(buf)
-				for i, n := range buf {
-					counts.Get(fmt.Sprintf("core%d", i)).Add(m.Now(), float64(n))
-				}
-				return true
-			})
+			probe.MustAttach(m, probe.Options{Probes: []string{"runq"}, Into: counts})
 		},
 		Window: apps.ShellWarmup + scaleDur(120*time.Second, scale, 20*time.Second),
 		Until: func(m *sim.Machine) bool {
@@ -196,7 +174,7 @@ func init() {
 			r := &Result{ID: "fig7", Title: "c-ray wake chain"}
 			kinds := []SchedulerKind{ULE, CFS}
 			trials := make([]Trial[Row], len(kinds))
-			series := make([]*stats.SeriesSet, len(kinds))
+			series := make([]*probe.Set, len(kinds))
 			for i, kind := range kinds {
 				trials[i], series[i] = fig7Trial(kind, scale)
 			}

@@ -5,8 +5,8 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/probe"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/ule"
 )
 
@@ -15,9 +15,9 @@ import (
 type coSchedOutcome struct {
 	kind SchedulerKind
 	// runtime series (seconds of accumulated CPU) for fibo and sysbench.
-	runtimes *stats.SeriesSet
+	runtimes *probe.Set
 	// penalty series for fibo and the sysbench worker mean (ULE only).
-	penalties *stats.SeriesSet
+	penalties *probe.Set
 	// sysbench results
 	txPerSec   float64
 	latencyAvg time.Duration
@@ -35,8 +35,8 @@ type coSchedOutcome struct {
 func coSchedTrial(kind SchedulerKind, scale float64) Trial[*coSchedOutcome] {
 	out := &coSchedOutcome{
 		kind:      kind,
-		runtimes:  stats.NewSeriesSet(),
-		penalties: stats.NewSeriesSet(),
+		runtimes:  probe.NewSet(0),
+		penalties: probe.NewSet(0),
 	}
 
 	fiboWork := scaleDur(60*time.Second, scale, 3*time.Second)
@@ -79,24 +79,25 @@ func coSchedTrial(kind SchedulerKind, scale float64) Trial[*coSchedOutcome] {
 			}
 
 			// Periodic probe: cumulative runtimes (Figure 1) and
-			// interactivity penalties (Figure 2).
-			m.Every(250*time.Millisecond, 250*time.Millisecond, func() bool {
-				now := m.Now() - fiboStart
+			// interactivity penalties (Figure 2), as custom samplers on
+			// the telemetry cadence.
+			att := probe.MustAttach(m, probe.Options{})
+			att.Custom(func(at time.Duration) {
+				now := at - fiboStart
 				if fibo.Master != nil {
-					out.runtimes.Get("fibo").Add(now, fibo.Master.RunTime.Seconds())
+					out.runtimes.Sample("fibo", now, fibo.Master.RunTime.Seconds())
 					if uleSched != nil {
-						out.penalties.Get("fibo").Add(now, float64(uleSched.Score(fibo.Master)))
+						out.penalties.Sample("fibo", now, float64(uleSched.Score(fibo.Master)))
 					}
 				}
-				out.runtimes.Get("sysbench").Add(now, sysRun().Seconds())
+				out.runtimes.Sample("sysbench", now, sysRun().Seconds())
 				if uleSched != nil && len(sys.Workers) > 0 {
 					var sum int
 					for _, w := range sys.Workers {
 						sum += uleSched.Score(w)
 					}
-					out.penalties.Get("sysbench").Add(now, float64(sum)/float64(len(sys.Workers)))
+					out.penalties.Sample("sysbench", now, float64(sum)/float64(len(sys.Workers)))
 				}
-				return true
 			})
 		},
 		Window: sysbenchStart + scaleDur(500*time.Second, scale, 60*time.Second),
@@ -239,8 +240,8 @@ func init() {
 // fig3/fig4: sysbench alone on one core under ULE, 128 threads.
 func init() {
 	type outcome struct {
-		runtimes      *stats.SeriesSet
-		penalties     *stats.SeriesSet
+		runtimes      *probe.Set
+		penalties     *probe.Set
 		inter         int
 		batch         int
 		starvedBatch  int
@@ -252,7 +253,7 @@ func init() {
 		if o, ok := cache[key]; ok {
 			return o
 		}
-		o := &outcome{runtimes: stats.NewSeriesSet(), penalties: stats.NewSeriesSet()}
+		o := &outcome{runtimes: probe.NewSet(0), penalties: probe.NewSet(0)}
 		var (
 			u   *ule.Sched
 			sys *apps.Instance
@@ -265,20 +266,20 @@ func init() {
 				cfg := apps.DefaultSysbench()
 				cfg.Threads = 128
 				sys = apps.Sysbench(cfg).New(m, apps.Env{Cores: 1})
-				m.Every(time.Second, time.Second, func() bool {
-					now := m.Now() - apps.ShellWarmup
+				att := probe.MustAttach(m, probe.Options{Cadence: time.Second})
+				att.Custom(func(at time.Duration) {
+					now := at - apps.ShellWarmup
 					if sys.Master != nil {
-						o.runtimes.Get("master").Add(now, sys.Master.RunTime.Seconds())
-						o.penalties.Get("master").Add(now, float64(u.Score(sys.Master)))
+						o.runtimes.Sample("master", now, sys.Master.RunTime.Seconds())
+						o.penalties.Sample("master", now, float64(u.Score(sys.Master)))
 					}
 					for i, w := range sys.Workers {
 						// Sample a representative subset of workers: every 8th.
 						if i%8 == 0 {
-							o.runtimes.Get(fmt.Sprintf("worker-%d", i)).Add(now, w.RunTime.Seconds())
-							o.penalties.Get(fmt.Sprintf("worker-%d", i)).Add(now, float64(u.Score(w)))
+							o.runtimes.Sample(fmt.Sprintf("worker-%d", i), now, w.RunTime.Seconds())
+							o.penalties.Sample(fmt.Sprintf("worker-%d", i), now, float64(u.Score(w)))
 						}
 					}
-					return true
 				})
 			},
 			Window: apps.ShellWarmup + scaleDur(140*time.Second, scale, 20*time.Second),
@@ -332,7 +333,7 @@ func init() {
 			r := &Result{ID: "fig4", Title: "sysbench per-thread penalties under ULE"}
 			r.AddSeries("penalty", o.penalties)
 			lo, hi := 0, 0
-			o.penalties.Each(func(s *stats.Series) {
+			o.penalties.Each(func(s *probe.Series) {
 				if s.Name == "master" {
 					return
 				}

@@ -1,0 +1,191 @@
+package probe
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sec(n int) time.Duration { return time.Duration(n) * time.Second }
+
+// offerN offers n uniformly spaced samples (t = 1s, 2s, ..., value = t in
+// seconds) to a fresh series of the given capacity.
+func offerN(capacity, n int) *Series {
+	s := newSeries("x", capacity)
+	for i := 1; i <= n; i++ {
+		s.Offer(sec(i), float64(i))
+	}
+	return s
+}
+
+func wantPoints(t *testing.T, s *Series, want []int) {
+	t.Helper()
+	if s.Len() != len(want) {
+		t.Fatalf("len = %d, want %d (points %v)", s.Len(), len(want), s.Points())
+	}
+	for i, w := range want {
+		p := s.Points()[i]
+		if p.T != sec(w) || p.V != float64(w) {
+			t.Fatalf("point[%d] = %+v, want t=%ds", i, p, w)
+		}
+	}
+}
+
+// TestSeriesDownsamplingGolden pins the exact halving boundaries of a
+// capacity-8 series under a uniform offer cadence: the retained points
+// stay uniformly spaced, the oldest point always survives, and the stride
+// doubles per halving.
+func TestSeriesDownsamplingGolden(t *testing.T) {
+	// Below capacity: everything retained, stride 1.
+	s := offerN(8, 8)
+	wantPoints(t, s, []int{1, 2, 3, 4, 5, 6, 7, 8})
+	if s.Stride() != 1 {
+		t.Fatalf("stride = %d, want 1", s.Stride())
+	}
+
+	// The 9th offer halves once: evens of the retained run survive and
+	// the new point lands on the doubled grid.
+	s = offerN(8, 9)
+	wantPoints(t, s, []int{1, 3, 5, 7, 9})
+	if s.Stride() != 2 {
+		t.Fatalf("stride = %d, want 2", s.Stride())
+	}
+
+	// Refill to capacity on stride 2: still uniformly spaced at 2s.
+	s = offerN(8, 15)
+	wantPoints(t, s, []int{1, 3, 5, 7, 9, 11, 13, 15})
+
+	// The 17th offer (16 is skipped by the stride) halves again.
+	s = offerN(8, 17)
+	wantPoints(t, s, []int{1, 5, 9, 13, 17})
+	if s.Stride() != 4 {
+		t.Fatalf("stride = %d, want 4", s.Stride())
+	}
+
+	// Long run: bounded at capacity whatever the offer count.
+	s = offerN(8, 10_000)
+	if s.Len() > 8 {
+		t.Fatalf("len = %d exceeds capacity", s.Len())
+	}
+	if s.Points()[0].T != sec(1) {
+		t.Fatalf("oldest point lost: %+v", s.Points()[0])
+	}
+	for i := 1; i < s.Len(); i++ {
+		gap := s.Points()[i].T - s.Points()[i-1].T
+		if gap != sec(s.Stride()) {
+			t.Fatalf("non-uniform gap %v at stride %d", gap, s.Stride())
+		}
+	}
+}
+
+// TestSeriesOddCapacityRoundsUp: odd capacities above 1 round up to
+// even, so halving always sees an even-length buffer and the retained
+// points stay uniformly spaced under a uniform offer cadence.
+func TestSeriesOddCapacityRoundsUp(t *testing.T) {
+	for _, capacity := range []int{3, 5, 7, 65535} {
+		s := newSeries("odd", capacity)
+		for i := 1; i <= 1000; i++ {
+			s.Offer(sec(i), float64(i))
+		}
+		if s.Len() > capacity+1 {
+			t.Fatalf("cap %d: len %d exceeds rounded capacity", capacity, s.Len())
+		}
+		for i := 1; i < s.Len(); i++ {
+			gap := s.Points()[i].T - s.Points()[i-1].T
+			if gap != sec(s.Stride()) {
+				t.Fatalf("cap %d: non-uniform gap %v at stride %d (points %v)",
+					capacity, gap, s.Stride(), s.Points())
+			}
+		}
+	}
+}
+
+// TestSeriesCapacityOne pins the degenerate edge: a capacity-1 series
+// retains exactly its first sample forever while the stride keeps
+// doubling.
+func TestSeriesCapacityOne(t *testing.T) {
+	s := newSeries("one", 1)
+	for i := 1; i <= 100; i++ {
+		s.Offer(sec(i), float64(i))
+	}
+	wantPoints(t, s, []int{1})
+	if s.Stride() < 2 {
+		t.Fatalf("stride = %d, want doubling to have happened", s.Stride())
+	}
+}
+
+func TestSeriesReadAccessors(t *testing.T) {
+	var s Series // zero value must work
+	if s.Len() != 0 || s.Last() != (Point{}) || s.Max() != 0 || s.Min() != 0 {
+		t.Fatal("empty series not empty")
+	}
+	s.Offer(sec(1), 10)
+	s.Offer(sec(2), 20)
+	s.Offer(sec(3), 5)
+	if s.Last().V != 5 || s.Max() != 20 || s.Min() != 5 {
+		t.Fatalf("last/max/min = %v/%v/%v", s.Last().V, s.Max(), s.Min())
+	}
+	if got := s.At(2500 * time.Millisecond); got != 20 {
+		t.Fatalf("At(2.5s) = %v, want step value 20", got)
+	}
+	if got := s.At(500 * time.Millisecond); got != 0 {
+		t.Fatalf("At before first sample = %v, want 0", got)
+	}
+	if at, ok := s.FirstCrossing(20); !ok || at != sec(2) {
+		t.Fatalf("FirstCrossing(20) = %v, %v", at, ok)
+	}
+	if _, ok := s.FirstCrossing(100); ok {
+		t.Fatal("FirstCrossing(100) should not exist")
+	}
+	if !strings.HasPrefix(s.Gnuplot(), "1.000 10") {
+		t.Fatalf("Gnuplot output %q", s.Gnuplot())
+	}
+}
+
+func TestSetOrderPutMerge(t *testing.T) {
+	a := NewSet(16)
+	a.Sample("x", sec(1), 1)
+	a.Sample("y", sec(2), 2)
+	if a.Get("x") != a.Get("x") {
+		t.Fatal("Get not idempotent")
+	}
+
+	b := NewSet(16)
+	b.Sample("y", sec(3), 30) // replaces a's y on merge
+	b.Sample("z", sec(4), 40)
+
+	a.Merge(b)
+	if got := a.Names(); len(got) != 3 || got[0] != "x" || got[1] != "y" || got[2] != "z" {
+		t.Fatalf("merged names = %v, want [x y z]", got)
+	}
+	if v := a.Get("y").Last().V; v != 30 {
+		t.Fatalf("merged y last = %v, want the adopted series", v)
+	}
+
+	// Merge with nil is a no-op; Put keeps first-created order stable.
+	a.Merge(nil)
+	s := newSeries("x2", 4)
+	s.Offer(sec(9), 9)
+	a.Put("x", s)
+	if got := a.Names(); len(got) != 3 || got[0] != "x" {
+		t.Fatalf("Put reordered names: %v", got)
+	}
+	if v := a.Get("x").Last().V; v != 9 {
+		t.Fatalf("Put did not replace series: %v", v)
+	}
+
+	var seen []string
+	a.Each(func(s *Series) { seen = append(seen, s.Name) })
+	if len(seen) != 3 {
+		t.Fatalf("Each visited %v", seen)
+	}
+
+	// Set capacity flows into created series.
+	c := NewSet(2)
+	for i := 1; i <= 50; i++ {
+		c.Sample("s", sec(i), float64(i))
+	}
+	if c.Get("s").Len() > 2 {
+		t.Fatalf("set capacity not honoured: %d points", c.Get("s").Len())
+	}
+}

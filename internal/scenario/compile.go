@@ -8,6 +8,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/ipc"
+	"repro/internal/probe"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -101,12 +102,31 @@ type entryState struct {
 	insts []*apps.Instance
 }
 
+// seriesCadenceFloor bounds how small scale can shrink the sampling
+// period — below this the sampler itself would dominate the event stream.
+const seriesCadenceFloor = 50 * time.Microsecond
+
+// seriesCadence resolves the effective sampling period of the series
+// block at the trial's scale.
+func (ss *SeriesSpec) seriesCadence(scale float64) time.Duration {
+	cad := ss.Cadence.D()
+	if cad <= 0 {
+		cad = probe.DefaultCadence
+	}
+	cad = time.Duration(float64(cad) * scale)
+	if cad < seriesCadenceFloor {
+		cad = seriesCadenceFloor
+	}
+	return cad
+}
+
 // buildTrial assembles the trial for one sweep cell.
 func (s *Spec) buildTrial(cores int, rs resolvedSched, scale float64, seed int64) core.Trial[TrialReport] {
 	window := s.windowFor(scale)
 	name := fmt.Sprintf("%s/c%d/%s/x%s/s%d",
 		s.Name, cores, rs.kind, strconv.FormatFloat(scale, 'g', -1, 64), seed)
 	states := make([]*entryState, len(s.Workload))
+	var att *probe.Attachment
 	return core.Trial[TrialReport]{
 		Name: name,
 		Machine: core.MachineConfig{
@@ -119,9 +139,21 @@ func (s *Spec) buildTrial(cores int, rs resolvedSched, scale float64, seed int64
 			for i := range s.Workload {
 				states[i] = s.install(m, i, cores, seed, name)
 			}
+			if s.Series != nil {
+				capacity := s.Series.Capacity
+				if capacity <= 0 {
+					capacity = defaultSeriesCapacity
+				}
+				// Validated upstream, so attach cannot fail.
+				att = probe.MustAttach(m, probe.Options{
+					Probes:   s.Series.Probes,
+					Cadence:  s.Series.seriesCadence(scale),
+					Capacity: capacity,
+				})
+			}
 		},
 		Extract: func(m *sim.Machine) TrialReport {
-			return s.extract(m, states, cell{
+			return s.extract(m, states, att, cell{
 				name:  name,
 				cores: cores, kind: rs.kind, scale: scale, seed: seed, window: window,
 			})
@@ -256,7 +288,7 @@ type cell struct {
 // spec's metric selection. Everything read here is deterministic state of
 // the (single-threaded, seeded) simulation, so reports are byte-identical
 // however the surrounding grid was scheduled.
-func (s *Spec) extract(m *sim.Machine, states []*entryState, c cell) TrialReport {
+func (s *Spec) extract(m *sim.Machine, states []*entryState, att *probe.Attachment, c cell) TrialReport {
 	rep := TrialReport{
 		Name:      c.name,
 		Cores:     c.cores,
@@ -323,6 +355,14 @@ func (s *Spec) extract(m *sim.Machine, states []*entryState, c cell) TrialReport
 		for i, co := range m.Cores {
 			rep.CoreUtil[i] = co.Utilization()
 		}
+	}
+
+	if att != nil {
+		set := att.Set()
+		set.Each(func(sr *probe.Series) {
+			rep.Series = append(rep.Series, seriesReport(sr))
+		})
+		rep.Derived = deriveSeriesMetrics(set, c.window)
 	}
 	return rep
 }

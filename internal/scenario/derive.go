@@ -1,0 +1,116 @@
+package scenario
+
+// Derived scalar metrics over a trial's recorded time series: the
+// transient-behaviour numbers the paper reads off its Figure 6/7 curves,
+// reduced to battle-comparable scalars. They are pure functions of the
+// embedded series, so a report consumer can recompute (audit) them from
+// the report alone.
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/probe"
+)
+
+// Derived metric names. Both require the "runq" probe.
+const (
+	// MetricConvergenceUS is the time (µs) of the first sample from
+	// which the per-core runnable depth spread (max−min) stays ≤ 1 for
+	// the rest of the recording — Figure 6's "time until balanced", with
+	// the sustained-convergence reading so a transiently even sample in
+	// the middle of an imbalanced run does not count. A run whose last
+	// sample is still imbalanced is censored at the window length, so
+	// the metric always exists when runq samples do (battle cells stay
+	// comparable across seeds); a run that never shows imbalance reads
+	// as the first sample time (converged from the start — cells then
+	// tie, truthfully).
+	MetricConvergenceUS = "convergence_us"
+	// MetricStartupP95US is the first sample time (µs) at which total
+	// runnable depth reaches 95% of its peak — Figure 7's startup
+	// transient ("how long until the machine is loaded").
+	MetricStartupP95US = "startup_p95_us"
+)
+
+// derivedMetrics lists the derived metric defs in stable namespace order;
+// both are time-until metrics, so lower wins.
+var derivedMetrics = []MetricDef{
+	{Name: MetricConvergenceUS, Better: Lower},
+	{Name: MetricStartupP95US, Better: Lower},
+}
+
+// deriveSeriesMetrics computes the derived metrics available from the
+// recorded set; nil when none apply (no runq probe attached, or it never
+// sampled). Values are computed from the retained (possibly downsampled)
+// points, so they are exactly reproducible from the embedded series.
+func deriveSeriesMetrics(set *probe.Set, window time.Duration) map[string]float64 {
+	var cores []*probe.Series
+	for _, name := range set.Names() {
+		if strings.HasPrefix(name, "runq.core") {
+			cores = append(cores, set.Get(name))
+		}
+	}
+	if len(cores) == 0 {
+		return nil
+	}
+	// All runq series are offered in the same sample cycles with the same
+	// capacity, so they thin identically; the min length guards the
+	// invariant anyway.
+	n := cores[0].Len()
+	for _, s := range cores {
+		if s.Len() < n {
+			n = s.Len()
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	out := map[string]float64{}
+
+	peak := 0.0
+	totals := make([]float64, n)
+	lastImbalanced := -1
+	for j := 0; j < n; j++ {
+		lo, hi, total := cores[0].Points()[j].V, cores[0].Points()[j].V, 0.0
+		for _, s := range cores {
+			v := s.Points()[j].V
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			total += v
+		}
+		if hi-lo > 1 {
+			lastImbalanced = j
+		}
+		totals[j] = total
+		if total > peak {
+			peak = total
+		}
+	}
+	switch {
+	case lastImbalanced == n-1:
+		// Still imbalanced at the final sample: censored at the window.
+		out[MetricConvergenceUS] = us(window)
+	case lastImbalanced >= 0:
+		// Sustained convergence starts at the sample after the last
+		// imbalanced one.
+		out[MetricConvergenceUS] = us(cores[0].Points()[lastImbalanced+1].T)
+	default:
+		// Never imbalanced: converged from the first sample on.
+		out[MetricConvergenceUS] = us(cores[0].Points()[0].T)
+	}
+	if peak > 0 {
+		for j := 0; j < n; j++ {
+			if totals[j] >= 0.95*peak {
+				out[MetricStartupP95US] = us(cores[0].Points()[j].T)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,12 +1,16 @@
 package scenario
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/probe"
 	"repro/internal/stats"
 )
 
@@ -48,6 +52,29 @@ type TrialReport struct {
 	Counters map[string]uint64 `json:"counters,omitempty"`
 	// CoreUtil is busy/(busy+sched+idle) per core.
 	CoreUtil []float64 `json:"core_utilization,omitempty"`
+	// Series holds the probe recordings the spec's series block selected,
+	// in probe creation order.
+	Series []SeriesReport `json:"series,omitempty"`
+	// Derived carries scalar metrics computed from the series (e.g.
+	// convergence_us); they join the battle metric namespace. Map
+	// marshalling sorts keys, so reports stay byte-stable.
+	Derived map[string]float64 `json:"derived,omitempty"`
+}
+
+// SeriesReport is one recorded time series: [t_us, value] pairs in time
+// order, exactly the retained (possibly downsampled) points.
+type SeriesReport struct {
+	Name   string       `json:"name"`
+	Points [][2]float64 `json:"points"`
+}
+
+// seriesReport converts one probe series; times are microseconds.
+func seriesReport(s *probe.Series) SeriesReport {
+	sr := SeriesReport{Name: s.Name, Points: make([][2]float64, 0, s.Len())}
+	for _, p := range s.Points() {
+		sr.Points = append(sr.Points, [2]float64{float64(p.T) / float64(time.Microsecond), p.V})
+	}
+	return sr
 }
 
 // ThroughputReport aggregates completed work, overall and per entry.
@@ -102,6 +129,27 @@ func (s *Spec) report(cliScale float64, trials []TrialReport) *Report {
 		CLIScale:    cliScale,
 		Trials:      trials,
 	}
+}
+
+// SeriesCSV renders every trial's embedded series as one CSV document
+// ("trial,series,t_us,value" rows, trial then series then time order) —
+// the `schedbattle -scenario ... -series out.csv` export for plotting.
+// The rendering is a pure function of the report, so it inherits the
+// report's byte-identity across -jobs widths. A report without series
+// yields just the header line.
+func (r *Report) SeriesCSV() []byte {
+	var b bytes.Buffer
+	b.WriteString("trial,series,t_us,value\n")
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for i := range r.Trials {
+		tr := &r.Trials[i]
+		for _, sr := range tr.Series {
+			for _, p := range sr.Points {
+				fmt.Fprintf(&b, "%s,%s,%s,%s\n", tr.Name, sr.Name, g(p[0]), g(p[1]))
+			}
+		}
+	}
+	return b.Bytes()
 }
 
 // ExperimentsReport is the structured form of registered-experiment output

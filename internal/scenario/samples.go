@@ -85,13 +85,20 @@ func entryMetric(name string) (label string, ok bool) {
 }
 
 // Metrics lists the battle metrics this trial report exposes, in stable
-// order: the global metrics it recorded, then a per-entry tail metric
-// "p99_us[<label>]" for every workload entry with a latency distribution
-// (the paper's per-workload headline numbers — e.g. the web entry's p99
-// under batch pressure), in workload order.
+// order: the global metrics it recorded, then the series-derived
+// transient metrics (convergence_us, startup_p95_us — present when the
+// spec's series block attached the runq probe), then a per-entry tail
+// metric "p99_us[<label>]" for every workload entry with a latency
+// distribution (the paper's per-workload headline numbers — e.g. the web
+// entry's p99 under batch pressure), in workload order.
 func (tr *TrialReport) Metrics() []MetricDef {
 	var defs []MetricDef
 	for _, d := range globalMetrics {
+		if _, ok := tr.MetricValue(d.Name); ok {
+			defs = append(defs, d)
+		}
+	}
+	for _, d := range derivedMetrics {
 		if _, ok := tr.MetricValue(d.Name); ok {
 			defs = append(defs, d)
 		}
@@ -120,6 +127,9 @@ func (tr *TrialReport) MetricValue(name string) (float64, bool) {
 			}
 		}
 		return 0, false
+	}
+	if v, ok := tr.Derived[name]; ok {
+		return v, true
 	}
 	switch name {
 	case "ops_per_sec":

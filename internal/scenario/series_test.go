@@ -1,0 +1,277 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/probe"
+	"repro/internal/runner"
+)
+
+// seriesSpec is a small scenario with a full series block: pinned loops
+// that unbalance the runqueues, an open-loop stream for runqlat, and a
+// tight capacity so downsampling actually engages.
+const seriesSpec = `{
+  "name": "mini-series",
+  "machine": {"cores": [4]},
+  "schedulers": [{"kind": "cfs"}, {"kind": "ule"}],
+  "window": "2s",
+  "workload": [
+    {"name": "spin", "loop": {"burst": "2ms"}, "count": 6, "pinned": [0]},
+    {"name": "web", "openloop": {"workers": 2, "rate": 500, "service": "200us"}}
+  ],
+  "series": {"probes": ["runq", "util", "runqlat", "live"], "cadence": "20ms", "capacity": 64}
+}`
+
+func TestSeriesBlockEndToEnd(t *testing.T) {
+	sp, err := Parse("mini-series.json", []byte(seriesSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sp.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Trials {
+		tr := &rep.Trials[i]
+		if len(tr.Series) == 0 {
+			t.Fatalf("%s: no series embedded", tr.Name)
+		}
+		names := map[string]bool{}
+		for _, sr := range tr.Series {
+			names[sr.Name] = true
+			if len(sr.Points) == 0 {
+				t.Errorf("%s: series %s empty", tr.Name, sr.Name)
+			}
+			// Capacity bound holds after downsampling.
+			if len(sr.Points) > 64 {
+				t.Errorf("%s: series %s has %d points, capacity 64", tr.Name, sr.Name, len(sr.Points))
+			}
+		}
+		for _, want := range []string{"runq.core0", "runq.core3", "util.core0", "live.threads"} {
+			if !names[want] {
+				t.Errorf("%s: series %s missing", tr.Name, want)
+			}
+		}
+		// A 2s window at 20ms cadence offers 100 samples into capacity
+		// 64: the runq series must have halved at least once.
+		if n := len(tr.Series[0].Points); n > 64 || n < 40 {
+			t.Errorf("%s: runq.core0 has %d points, want downsampled ~50", tr.Name, n)
+		}
+		if tr.Derived == nil {
+			t.Fatalf("%s: no derived metrics", tr.Name)
+		}
+		conv, ok := tr.Derived[MetricConvergenceUS]
+		if !ok {
+			t.Fatalf("%s: convergence_us missing: %v", tr.Name, tr.Derived)
+		}
+		// Six pinned spinners on core 0 cannot be balanced at the first
+		// sample; convergence is observed later or censored at the window.
+		if conv <= 0 || conv > 2_000_000 {
+			t.Errorf("%s: convergence_us = %g out of (0, window]", tr.Name, conv)
+		}
+		if v, ok := tr.Derived[MetricStartupP95US]; !ok || v <= 0 {
+			t.Errorf("%s: startup_p95_us = %g, %v", tr.Name, v, ok)
+		}
+		// Derived metrics join the battle metric namespace.
+		found := false
+		for _, md := range tr.Metrics() {
+			if md.Name == MetricConvergenceUS && md.Better == Lower {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: convergence_us not in Metrics()", tr.Name)
+		}
+	}
+}
+
+// TestSeriesDeterminismAcrossJobs is the telemetry byte-identity gate: a
+// bundled scenario with a series block (web-tail) marshals — report and
+// CSV export both — byte-identically at -jobs 1 and -jobs 8.
+func TestSeriesDeterminismAcrossJobs(t *testing.T) {
+	sp, err := LoadBuiltin("web-tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Series == nil {
+		t.Fatal("web-tail must carry a series block")
+	}
+	marshal := func() ([]byte, []byte) {
+		rep, err := sp.Run(0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := MarshalReport(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, rep.SeriesCSV()
+	}
+	var j1, j8, csv1, csv8 []byte
+	runner.WithWorkers(1, func() { j1, csv1 = marshal() })
+	runner.WithWorkers(8, func() { j8, csv8 = marshal() })
+	if !bytes.Equal(j1, j8) {
+		t.Fatal("series report differs between -jobs 1 and -jobs 8")
+	}
+	if !bytes.Equal(csv1, csv8) {
+		t.Fatal("series CSV differs between -jobs 1 and -jobs 8")
+	}
+	if !bytes.Contains(j1, []byte(`"convergence_us"`)) {
+		t.Fatal("web-tail report carries no convergence_us")
+	}
+	if !bytes.HasPrefix(csv1, []byte("trial,series,t_us,value\n")) || bytes.Count(csv1, []byte("\n")) < 10 {
+		t.Fatalf("series CSV malformed:\n%s", csv1[:120])
+	}
+}
+
+// TestSeriesSpecValidation pins the positioned series-block errors,
+// including the did-you-mean suggestions of the probe and metric
+// namespaces.
+func TestSeriesSpecValidation(t *testing.T) {
+	base := `{"name": "x", "window": "1s", "machine": {"cores": [2]},
+	  "schedulers": [{"kind": "cfs"}], "workload": [{"loop": {"burst": "1ms"}}]`
+	cases := []struct {
+		name string
+		tail string
+		want string
+	}{
+		{
+			name: "unknown-probe-did-you-mean",
+			tail: `, "series": {"probes": ["runqs"]}}`,
+			want: `bad.json: series.probes[0]: unknown probe "runqs" (did you mean "runq"?) (known: live, migrations, preemptions, runq, runqlat, steals, ticks, util)`,
+		},
+		{
+			name: "unknown-probe-far",
+			tail: `, "series": {"probes": ["zzzzzzz"]}}`,
+			want: `bad.json: series.probes[0]: unknown probe "zzzzzzz" (known: live, migrations, preemptions, runq, runqlat, steals, ticks, util)`,
+		},
+		{
+			name: "duplicate-probe",
+			tail: `, "series": {"probes": ["runq", "runq"]}}`,
+			want: `bad.json: series.probes[1]: probe "runq" listed twice`,
+		},
+		{
+			name: "empty-probes",
+			tail: `, "series": {"probes": []}}`,
+			want: `bad.json: series.probes: at least one probe is required (known: live, migrations, preemptions, runq, runqlat, steals, ticks, util)`,
+		},
+		{
+			name: "capacity-range",
+			tail: `, "series": {"probes": ["runq"], "capacity": 100000}}`,
+			want: `bad.json: series.capacity: capacity 100000 out of range [1, 65536]`,
+		},
+		{
+			name: "metric-did-you-mean",
+			tail: `, "metrics": ["latencyy"]}`,
+			want: `bad.json: metrics[0]: unknown metric "latencyy" (did you mean "latency"?) (known: throughput, latency, counters, utilization)`,
+		},
+	}
+	for _, c := range []struct{ name, in, want string }{
+		{
+			name: "comma-in-scenario-name",
+			in:   `{"name": "web,frontend", "window": "1s", "machine": {"cores": [2]}, "schedulers": [{"kind": "cfs"}], "workload": [{"loop": {"burst": "1ms"}}]}`,
+			want: `bad.json: name: name "web,frontend" must not contain commas, quotes, or control characters`,
+		},
+		{
+			name: "comma-in-entry-name",
+			in:   `{"name": "x", "window": "1s", "machine": {"cores": [2]}, "schedulers": [{"kind": "cfs"}], "workload": [{"name": "a,b", "loop": {"burst": "1ms"}}]}`,
+			want: `bad.json: workload[0].name: name "a,b" must not contain commas, quotes, or control characters`,
+		},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse("bad.json", []byte(c.in))
+			if err == nil {
+				t.Fatal("spec parsed without error")
+			}
+			if got := err.Error(); got != c.want {
+				t.Fatalf("error mismatch:\n got: %s\nwant: %s", got, c.want)
+			}
+		})
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse("bad.json", []byte(base+c.tail))
+			if err == nil {
+				t.Fatal("spec parsed without error")
+			}
+			if got := err.Error(); got != c.want {
+				t.Fatalf("error mismatch:\n got: %s\nwant: %s", got, c.want)
+			}
+		})
+	}
+}
+
+// TestSeriesCadenceScaling: the sampling period scales with the trial's
+// effective scale and floors, so sample counts stay roughly constant as
+// windows shrink.
+func TestSeriesCadenceScaling(t *testing.T) {
+	ss := &SeriesSpec{}
+	if got := ss.seriesCadence(1); got != 250*time.Millisecond {
+		t.Fatalf("default cadence = %v", got)
+	}
+	if got := ss.seriesCadence(0.1); got != 25*time.Millisecond {
+		t.Fatalf("scaled cadence = %v", got)
+	}
+	if got := ss.seriesCadence(0.0000001); got != 50*time.Microsecond {
+		t.Fatalf("floored cadence = %v", got)
+	}
+	ss.Cadence = Dur(time.Second)
+	if got := ss.seriesCadence(0.5); got != 500*time.Millisecond {
+		t.Fatalf("explicit cadence scaled = %v", got)
+	}
+}
+
+// TestDeriveSeriesMetrics drives the derivation directly with synthetic
+// series: convergence at the first balanced sample, censoring at the
+// window, and the 95%-of-peak startup reading.
+func TestDeriveSeriesMetrics(t *testing.T) {
+	mkSet := func(series ...[]float64) *probe.Set {
+		set := probe.NewSet(64)
+		for ci, vals := range series {
+			for i, v := range vals {
+				set.Sample(fmt.Sprintf("runq.core%d", ci), time.Duration(i+1)*time.Second, v)
+			}
+		}
+		return set
+	}
+
+	// Samples at 1s..4s: spread 4,2,0,0 → converges at 3s; total peaks
+	// at 4 (samples 1s and 3s) → 95% of peak first reached at 1s.
+	d := deriveSeriesMetrics(mkSet([]float64{4, 3, 2, 1}, []float64{0, 1, 2, 1}), 10*time.Second)
+	if got := d[MetricConvergenceUS]; got != 3_000_000 {
+		t.Fatalf("convergence_us = %g, want 3e6", got)
+	}
+	if got := d[MetricStartupP95US]; got != 1_000_000 {
+		t.Fatalf("startup_p95_us = %g, want 1e6", got)
+	}
+
+	// Never balanced: censored at the window.
+	d = deriveSeriesMetrics(mkSet([]float64{4, 4}, []float64{0, 0}), 10*time.Second)
+	if got := d[MetricConvergenceUS]; got != 10_000_000 {
+		t.Fatalf("censored convergence_us = %g, want window 1e7", got)
+	}
+
+	// Sustained semantics: a transiently balanced sample inside an
+	// imbalanced run does not count — spread 0,4,0 converges at 3s, not
+	// the 1s a first-crossing reading would claim.
+	d = deriveSeriesMetrics(mkSet([]float64{1, 4, 1}, []float64{1, 0, 1}), 10*time.Second)
+	if got := d[MetricConvergenceUS]; got != 3_000_000 {
+		t.Fatalf("sustained convergence_us = %g, want 3e6", got)
+	}
+
+	// Never imbalanced: converged from the first sample.
+	d = deriveSeriesMetrics(mkSet([]float64{1, 1}, []float64{1, 1}), 10*time.Second)
+	if got := d[MetricConvergenceUS]; got != 1_000_000 {
+		t.Fatalf("always-balanced convergence_us = %g, want first sample 1e6", got)
+	}
+
+	// No runq series at all: nothing derived.
+	other := probe.NewSet(8)
+	other.Sample("live.threads", time.Second, 1)
+	if d := deriveSeriesMetrics(other, time.Second); d != nil {
+		t.Fatalf("derived from non-runq series: %v", d)
+	}
+}

@@ -45,6 +45,10 @@ type Spec struct {
 	// Metrics selects report sections (throughput, latency, counters,
 	// utilization); empty selects all.
 	Metrics []string `json:"metrics,omitempty"`
+	// Series attaches telemetry probes (internal/probe) to every trial
+	// and embeds the recorded time series — plus derived transient
+	// metrics like convergence_us — in the report.
+	Series *SeriesSpec `json:"series,omitempty"`
 
 	// resolved is filled by Validate: scheduler entries with "*" expanded
 	// and parameter overrides decoded.
@@ -98,6 +102,21 @@ type Entry struct {
 	Pinned []int `json:"pinned,omitempty"`
 	// Nice is the primitive threads' nice value.
 	Nice int `json:"nice,omitempty"`
+}
+
+// SeriesSpec is the scenario's telemetry block: which built-in probes to
+// attach (probe.Names lists the namespace), how often to sample, and how
+// many points each series may retain before halving its resolution.
+type SeriesSpec struct {
+	// Probes lists built-in probe names ("runq", "util", "runqlat", ...).
+	Probes []string `json:"probes"`
+	// Cadence is the sampling period at scale 1 (default 250ms). It is
+	// multiplied by the trial's effective scale so the sample count stays
+	// roughly constant as windows shrink, floored at 50µs.
+	Cadence Dur `json:"cadence,omitempty"`
+	// Capacity bounds each series' retained points (default 512, max
+	// 65536); on overflow a series halves its resolution deterministically.
+	Capacity int `json:"capacity,omitempty"`
 }
 
 // LoopSpec parameterises an endless compute loop.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/cfs"
 	"repro/internal/core"
+	"repro/internal/probe"
 	"repro/internal/ule"
 	"repro/internal/workload"
 )
@@ -40,12 +41,72 @@ const (
 	maxCount   = 100000
 )
 
+// Series-block bounds: the default retains half a thousand points per
+// series (a 12 s window at the default 250 ms-at-scale-1 cadence never
+// downsamples), and the cap keeps a wide sweep's report a few MB at most.
+const (
+	defaultSeriesCapacity = 512
+	maxSeriesCapacity     = 65536
+)
+
+// editDistance is the Levenshtein distance between a and b — small
+// strings only (metric and probe names), so the O(len²) table is fine.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// cleanName rejects characters that would corrupt downstream renderings
+// of a name — trial names in CSV rows and series names both embed it, so
+// commas, quotes, and control characters are out.
+func cleanName(s string) bool {
+	for _, r := range s {
+		if r == ',' || r == '"' || r < 0x20 {
+			return false
+		}
+	}
+	return true
+}
+
+// suggest returns a did-you-mean clause for a near-miss of name against
+// known, or "" when nothing is plausibly close.
+func suggest(name string, known []string) string {
+	best, bestD := "", 4 // only suggest within edit distance 3
+	for _, k := range known {
+		if d := editDistance(name, k); d < bestD {
+			best, bestD = k, d
+		}
+	}
+	if best == "" || bestD >= len(name) {
+		return ""
+	}
+	return fmt.Sprintf(" (did you mean %q?)", best)
+}
+
 // Validate checks the spec and resolves scheduler kinds and parameter
 // overrides. Errors are *Error values positioned at the offending field's
 // spec path. Validate is idempotent; Compile calls it if needed.
 func (s *Spec) Validate() error {
 	if strings.TrimSpace(s.Name) == "" {
 		return verr("name", "scenario name is required")
+	}
+	if !cleanName(s.Name) {
+		return verr("name", "name %q must not contain commas, quotes, or control characters", s.Name)
 	}
 	if s.Window.D() <= 0 {
 		return verr("window", "window must be a positive duration")
@@ -106,8 +167,50 @@ func (s *Spec) Validate() error {
 			}
 		}
 		if !ok {
-			return verr(fmt.Sprintf("metrics[%d]", i), "unknown metric %q (known: %s)", mName, strings.Join(AllMetrics, ", "))
+			return verr(fmt.Sprintf("metrics[%d]", i), "unknown metric %q%s (known: %s)",
+				mName, suggest(mName, AllMetrics), strings.Join(AllMetrics, ", "))
 		}
+	}
+
+	if s.Series != nil {
+		if err := s.Series.validate("series"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validate checks the series telemetry block: every probe name must be a
+// known built-in (near-misses get a did-you-mean), and cadence/capacity
+// must be sane.
+func (ss *SeriesSpec) validate(pos string) error {
+	if len(ss.Probes) == 0 {
+		return verr(pos+".probes", "at least one probe is required (known: %s)", strings.Join(probe.Names(), ", "))
+	}
+	known := probe.Names()
+	seen := map[string]bool{}
+	for i, name := range ss.Probes {
+		ok := false
+		for _, k := range known {
+			if name == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return verr(fmt.Sprintf("%s.probes[%d]", pos, i), "unknown probe %q%s (known: %s)",
+				name, suggest(name, known), strings.Join(known, ", "))
+		}
+		if seen[name] {
+			return verr(fmt.Sprintf("%s.probes[%d]", pos, i), "probe %q listed twice", name)
+		}
+		seen[name] = true
+	}
+	if ss.Cadence.D() < 0 {
+		return verr(pos+".cadence", "cadence must not be negative")
+	}
+	if ss.Capacity < 0 || ss.Capacity > maxSeriesCapacity {
+		return verr(pos+".capacity", "capacity %d out of range [1, %d]", ss.Capacity, maxSeriesCapacity)
 	}
 	return nil
 }
@@ -208,6 +311,9 @@ func (e *Entry) validate(pos string, minCores int) error {
 	}
 	if kinds != 1 {
 		return verr(pos, "exactly one of app, loop, finite, or openloop is required (got %d)", kinds)
+	}
+	if !cleanName(e.Name) {
+		return verr(pos+".name", "name %q must not contain commas, quotes, or control characters", e.Name)
 	}
 	if e.Count < 0 || e.Count > maxCount {
 		return verr(pos+".count", "count %d out of range [1, %d]", e.Count, maxCount)

@@ -195,6 +195,18 @@ func (c *Core) nextGridTick(now time.Duration) time.Duration {
 	return at
 }
 
+// BusySoFar returns cumulative thread execution time including the
+// running thread's in-flight, not-yet-flushed segment — the read
+// telemetry samplers use mid-burst (BusyTime alone lags by up to one
+// burst at a timer-driven sample point).
+func (c *Core) BusySoFar() time.Duration {
+	b := c.BusyTime
+	if c.Curr != nil && c.mach.now > c.runStart {
+		b += c.mach.now - c.runStart
+	}
+	return b
+}
+
 // Utilization returns busy/(busy+sched+idle) over the simulated run.
 func (c *Core) Utilization() float64 {
 	total := c.BusyTime + c.SchedTime + c.IdleTime

@@ -1,0 +1,71 @@
+package sim
+
+// Stable observation hook points for the telemetry layer (internal/probe).
+// Hooks fire at the engine's scheduler-visible transitions:
+//
+//   - enqueue:  a thread became runnable on a core (fork, wakeup,
+//     migration arrival) — after the scheduler's Enqueue ran, before any
+//     dispatch/preemption it triggers;
+//   - dispatch: a core started running a thread;
+//   - migrate:  a balancer/stealer moved a runnable thread between cores
+//     (fires before the arrival's enqueue hook);
+//   - steal:    an idle core stole a thread from a victim (reported by
+//     the scheduler via TraceSteal; the accompanying Migrate also fires);
+//   - tick:     a scheduler tick fired on a core (after token
+//     validation, i.e. only ticks that actually run).
+//
+// Contract: hooks are pure observers. They run inside the engine's
+// dispatch path and MUST NOT mutate simulation state (no thread starts,
+// wakes, migrations, or timer arming) — only read state and record. The
+// engine does not defend against violations.
+//
+// The no-hooks fast path is a single nil check per site: a machine with
+// no hooks registered pays no allocation and no per-event call, which is
+// what keeps the tickless engine's zero-probe numbers intact
+// (BenchmarkProbeOverhead in internal/probe).
+type hooks struct {
+	enqueue  []func(c *Core, t *Thread, flags int)
+	dispatch []func(c *Core, t *Thread)
+	migrate  []func(from, to *Core, t *Thread)
+	steal    []func(c, victim *Core, t *Thread)
+	tick     []func(c *Core)
+}
+
+// ensureHooks lazily allocates the hook table: machines that never attach
+// a probe never carry one.
+func (m *Machine) ensureHooks() *hooks {
+	if m.hooks == nil {
+		m.hooks = &hooks{}
+	}
+	return m.hooks
+}
+
+// OnEnqueue registers an observer for threads becoming runnable on a core.
+func (m *Machine) OnEnqueue(fn func(c *Core, t *Thread, flags int)) {
+	h := m.ensureHooks()
+	h.enqueue = append(h.enqueue, fn)
+}
+
+// OnDispatch registers an observer for a core starting to run a thread.
+func (m *Machine) OnDispatch(fn func(c *Core, t *Thread)) {
+	h := m.ensureHooks()
+	h.dispatch = append(h.dispatch, fn)
+}
+
+// OnMigrate registers an observer for runnable-thread migrations.
+func (m *Machine) OnMigrate(fn func(from, to *Core, t *Thread)) {
+	h := m.ensureHooks()
+	h.migrate = append(h.migrate, fn)
+}
+
+// OnSteal registers an observer for idle steals.
+func (m *Machine) OnSteal(fn func(c, victim *Core, t *Thread)) {
+	h := m.ensureHooks()
+	h.steal = append(h.steal, fn)
+}
+
+// OnTick registers an observer for scheduler ticks that actually fire.
+func (m *Machine) OnTick(fn func(c *Core)) {
+	h := m.ensureHooks()
+	h.tick = append(h.tick, fn)
+}

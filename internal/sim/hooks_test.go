@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+)
+
+// TestHooksFire pins the hook-point contract: every registered observer
+// fires at its transition, counts line up with the trace's exact counts
+// where both exist, and a machine without registrations carries no hook
+// table at all (the fast path).
+func TestHooksFire(t *testing.T) {
+	m := NewMachine(topo.Small(), NewFIFO(), Options{Seed: 5})
+	if m.hooks != nil {
+		t.Fatal("hook table allocated before any registration")
+	}
+
+	var enq, disp, mig, steal, tick int
+	m.OnEnqueue(func(c *Core, th *Thread, flags int) {
+		if th.State() != StateRunnable {
+			t.Errorf("enqueue hook saw state %v", th.State())
+		}
+		enq++
+	})
+	m.OnDispatch(func(c *Core, th *Thread) {
+		if c.Curr != th {
+			t.Error("dispatch hook fired with thread not current")
+		}
+		disp++
+	})
+	m.OnMigrate(func(from, to *Core, th *Thread) {
+		if from == to {
+			t.Error("migrate hook with from == to")
+		}
+		mig++
+	})
+	m.OnSteal(func(c, victim *Core, th *Thread) { steal++ })
+	m.OnTick(func(c *Core) { tick++ })
+
+	for i := 0; i < 12; i++ {
+		m.StartThread("w", "app", 0, &runSleeper{run: 700 * time.Microsecond, sleep: 400 * time.Microsecond})
+	}
+	m.Run(500 * time.Millisecond)
+
+	if enq == 0 || disp == 0 || tick == 0 {
+		t.Fatalf("hooks silent: enqueue=%d dispatch=%d tick=%d", enq, disp, tick)
+	}
+	// FIFO steals queued work when idle; the steal hook and its Migrate
+	// both fire.
+	if steal == 0 || mig == 0 {
+		t.Fatalf("steal/migrate hooks silent: steal=%d migrate=%d", steal, mig)
+	}
+	if mig < steal {
+		t.Fatalf("every steal migrates: migrate=%d < steal=%d", mig, steal)
+	}
+}
+
+// TestHooksDoNotPerturb is the observation-only guarantee behind the
+// telemetry layer: a machine with (counting) hooks registered runs the
+// exact same simulation — same event count, same trace counts — as one
+// without.
+func TestHooksDoNotPerturb(t *testing.T) {
+	run := func(withHooks bool) (uint64, map[string]uint64) {
+		m := NewMachine(topo.Small(), NewFIFO(), Options{Seed: 7})
+		if withHooks {
+			m.OnEnqueue(func(c *Core, th *Thread, flags int) {})
+			m.OnDispatch(func(c *Core, th *Thread) {})
+			m.OnMigrate(func(from, to *Core, th *Thread) {})
+			m.OnSteal(func(c, victim *Core, th *Thread) {})
+			m.OnTick(func(c *Core) {})
+		}
+		for i := 0; i < 8; i++ {
+			m.StartThread("w", "app", 0, &runSleeper{run: 900 * time.Microsecond, sleep: 300 * time.Microsecond})
+		}
+		m.Run(300 * time.Millisecond)
+		counts := map[string]uint64{}
+		for _, th := range m.Threads() {
+			counts["runtime"] += uint64(th.RunTime)
+		}
+		return m.EventsProcessed(), counts
+	}
+	e1, c1 := run(false)
+	e2, c2 := run(true)
+	if e1 != e2 {
+		t.Fatalf("hooks changed event count: %d vs %d", e1, e2)
+	}
+	if c1["runtime"] != c2["runtime"] {
+		t.Fatalf("hooks changed accumulated runtime: %d vs %d", c1["runtime"], c2["runtime"])
+	}
+}

@@ -27,6 +27,11 @@ type Machine struct {
 	sched Scheduler
 	rng   *Rand
 
+	// hooks is the telemetry observation table (hooks.go); nil until the
+	// first registration, so probe-free machines pay one nil check per
+	// hook site and nothing else.
+	hooks *hooks
+
 	now    time.Duration
 	heap   eventHeap
 	seq    uint64
@@ -429,6 +434,11 @@ func (m *Machine) Migrate(t *Thread, from, to *Core) {
 		t.pendingPenalty += m.Cost.MigrationPenalty
 	}
 	m.Trace.Record(trace.Event{At: m.now, Kind: trace.Migrate, Core: from.ID, OtherCore: to.ID, Thread: t.ID})
+	if m.hooks != nil {
+		for _, fn := range m.hooks.migrate {
+			fn(from, to, t)
+		}
+	}
 	m.enqueueRunnable(to, t, FlagMigrate)
 }
 
@@ -491,6 +501,11 @@ func (m *Machine) TraceBalance(c *Core) {
 // TraceSteal records an idle steal by c from victim.
 func (m *Machine) TraceSteal(c, victim *Core, t *Thread) {
 	m.Trace.Record(trace.Event{At: m.now, Kind: trace.Steal, Core: c.ID, OtherCore: victim.ID, Thread: t.ID})
+	if m.hooks != nil {
+		for _, fn := range m.hooks.steal {
+			fn(c, victim, t)
+		}
+	}
 }
 
 func coreID(c *Core) int {
@@ -516,6 +531,11 @@ func (m *Machine) enqueueRunnable(c *Core, t *Thread, flags int) {
 	t.core = c
 	t.LastEnqueuedAt = m.now
 	m.sched.Enqueue(c, t, flags)
+	if m.hooks != nil {
+		for _, fn := range m.hooks.enqueue {
+			fn(c, t, flags)
+		}
+	}
 	if c.Curr == nil {
 		if !c.dispatching {
 			m.dispatch(c)
@@ -583,6 +603,11 @@ func (m *Machine) start(c *Core, t *Thread) {
 		}
 	}
 	c.lastThread = t
+	if m.hooks != nil {
+		for _, fn := range m.hooks.dispatch {
+			fn(c, t)
+		}
+	}
 
 	if t.opValid {
 		switch t.op.Kind {
@@ -870,6 +895,11 @@ func (m *Machine) fireTick(c *Core, token uint64) {
 	}
 	c.lastTick = m.now
 	c.flushRun()
+	if m.hooks != nil {
+		for _, fn := range m.hooks.tick {
+			fn(c)
+		}
+	}
 	m.sched.Tick(c, c.Curr)
 	if c.NeedResched {
 		c.NeedResched = false

@@ -1,7 +1,9 @@
-// Package stats provides the measurement primitives the experiment harness
-// records into: time series (for the paper's runtime/penalty/heatmap
-// figures), latency histograms (Table 2), and counters (preemptions,
-// migrations, scheduler cycles).
+// Package stats provides the scalar measurement primitives the experiment
+// harness records into: latency histograms (Table 2), counters
+// (preemptions, migrations, scheduler cycles), and sample summaries
+// (inference.go). Time series live in internal/probe — the unified
+// telemetry layer — which builds its quantile samplers on the Histogram
+// here.
 //
 // Everything here is plain single-threaded data — the simulator is
 // sequential, so no locking is needed or wanted.
@@ -10,154 +12,8 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
-	"strings"
 	"time"
 )
-
-// Point is one sample of a time series: a simulated timestamp and a value.
-type Point struct {
-	T time.Duration // simulated time since machine start
-	V float64
-}
-
-// Series is an append-only time series.
-type Series struct {
-	Name   string
-	Points []Point
-}
-
-// Add appends a sample.
-func (s *Series) Add(t time.Duration, v float64) {
-	s.Points = append(s.Points, Point{T: t, V: v})
-}
-
-// Len returns the number of samples.
-func (s *Series) Len() int { return len(s.Points) }
-
-// Last returns the final sample, or a zero Point if empty.
-func (s *Series) Last() Point {
-	if len(s.Points) == 0 {
-		return Point{}
-	}
-	return s.Points[len(s.Points)-1]
-}
-
-// At returns the value at-or-before time t (step interpolation), or 0 before
-// the first sample.
-func (s *Series) At(t time.Duration) float64 {
-	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T > t })
-	if i == 0 {
-		return 0
-	}
-	return s.Points[i-1].V
-}
-
-// Max returns the maximum value, or 0 if empty.
-func (s *Series) Max() float64 {
-	m := math.Inf(-1)
-	for _, p := range s.Points {
-		if p.V > m {
-			m = p.V
-		}
-	}
-	if math.IsInf(m, -1) {
-		return 0
-	}
-	return m
-}
-
-// Min returns the minimum value, or 0 if empty.
-func (s *Series) Min() float64 {
-	m := math.Inf(1)
-	for _, p := range s.Points {
-		if p.V < m {
-			m = p.V
-		}
-	}
-	if math.IsInf(m, 1) {
-		return 0
-	}
-	return m
-}
-
-// Gnuplot renders "time value" rows with time in seconds, the format the
-// paper's figures plot.
-func (s *Series) Gnuplot() string {
-	var b strings.Builder
-	for _, p := range s.Points {
-		fmt.Fprintf(&b, "%.3f %.6g\n", p.T.Seconds(), p.V)
-	}
-	return b.String()
-}
-
-// FirstCrossing returns the earliest sample time with V >= v, and whether
-// one exists. Used for "time until balanced / all-runnable" readings on
-// Figures 6 and 7.
-func (s *Series) FirstCrossing(v float64) (time.Duration, bool) {
-	for _, p := range s.Points {
-		if p.V >= v {
-			return p.T, true
-		}
-	}
-	return 0, false
-}
-
-// SeriesSet is a named collection of series, e.g. one per thread or core.
-type SeriesSet struct {
-	byName map[string]*Series
-	order  []string
-}
-
-// NewSeriesSet returns an empty set.
-func NewSeriesSet() *SeriesSet {
-	return &SeriesSet{byName: make(map[string]*Series)}
-}
-
-// Get returns the series with the given name, creating it if needed.
-func (ss *SeriesSet) Get(name string) *Series {
-	s, ok := ss.byName[name]
-	if !ok {
-		s = &Series{Name: name}
-		ss.byName[name] = s
-		ss.order = append(ss.order, name)
-	}
-	return s
-}
-
-// Put installs s under name, replacing an existing series of that name and
-// preserving creation order otherwise; Merge adopts series through it.
-func (ss *SeriesSet) Put(name string, s *Series) {
-	if _, ok := ss.byName[name]; !ok {
-		ss.order = append(ss.order, name)
-	}
-	ss.byName[name] = s
-}
-
-// Merge adopts every series of o in o's creation order. A same-named
-// series in ss is REPLACED by o's, not concatenated — callers that need to
-// keep both recordings must rename first. Experiment drivers fold
-// per-trial sub-results with core's Result.Merge, which combines colliding
-// series sets through this; merging in trial declaration order keeps the
-// combined set deterministic however the trials were scheduled.
-func (ss *SeriesSet) Merge(o *SeriesSet) {
-	if o == nil {
-		return
-	}
-	for _, name := range o.order {
-		ss.Put(name, o.byName[name])
-	}
-}
-
-// Names returns series names in creation order.
-func (ss *SeriesSet) Names() []string { return ss.order }
-
-// Each calls fn for every series in creation order.
-func (ss *SeriesSet) Each(fn func(*Series)) {
-	for _, n := range ss.order {
-		fn(ss.byName[n])
-	}
-}
 
 // Histogram is a logarithmic-bucket latency histogram covering 1µs..~100s
 // with ~4% relative precision; enough for the paper's ms-scale latencies.

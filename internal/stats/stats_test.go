@@ -2,97 +2,10 @@ package stats
 
 import (
 	"math"
-	"strings"
 	"testing"
 	"testing/quick"
 	"time"
 )
-
-func TestSeriesBasics(t *testing.T) {
-	var s Series
-	if s.Len() != 0 || s.Last() != (Point{}) {
-		t.Fatal("empty series not empty")
-	}
-	s.Add(1*time.Second, 10)
-	s.Add(2*time.Second, 20)
-	s.Add(3*time.Second, 5)
-	if s.Len() != 3 {
-		t.Fatalf("Len = %d", s.Len())
-	}
-	if got := s.Last(); got.V != 5 {
-		t.Fatalf("Last = %+v", got)
-	}
-	if got := s.Max(); got != 20 {
-		t.Fatalf("Max = %v", got)
-	}
-	if got := s.Min(); got != 5 {
-		t.Fatalf("Min = %v", got)
-	}
-}
-
-func TestSeriesAt(t *testing.T) {
-	var s Series
-	s.Add(1*time.Second, 1)
-	s.Add(3*time.Second, 3)
-	cases := []struct {
-		at   time.Duration
-		want float64
-	}{
-		{0, 0},
-		{999 * time.Millisecond, 0},
-		{1 * time.Second, 1},
-		{2 * time.Second, 1},
-		{3 * time.Second, 3},
-		{10 * time.Second, 3},
-	}
-	for _, c := range cases {
-		if got := s.At(c.at); got != c.want {
-			t.Errorf("At(%v) = %v, want %v", c.at, got, c.want)
-		}
-	}
-}
-
-func TestSeriesFirstCrossing(t *testing.T) {
-	var s Series
-	s.Add(1*time.Second, 1)
-	s.Add(2*time.Second, 5)
-	s.Add(3*time.Second, 9)
-	if at, ok := s.FirstCrossing(5); !ok || at != 2*time.Second {
-		t.Fatalf("FirstCrossing(5) = %v, %v", at, ok)
-	}
-	if _, ok := s.FirstCrossing(100); ok {
-		t.Fatal("FirstCrossing(100) should not exist")
-	}
-}
-
-func TestSeriesGnuplot(t *testing.T) {
-	var s Series
-	s.Add(1500*time.Millisecond, 2)
-	out := s.Gnuplot()
-	if !strings.HasPrefix(out, "1.500 2") {
-		t.Fatalf("Gnuplot output %q", out)
-	}
-}
-
-func TestSeriesSet(t *testing.T) {
-	ss := NewSeriesSet()
-	a := ss.Get("a")
-	b := ss.Get("b")
-	if ss.Get("a") != a {
-		t.Fatal("Get not idempotent")
-	}
-	a.Add(0, 1)
-	b.Add(0, 2)
-	names := ss.Names()
-	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
-		t.Fatalf("Names = %v", names)
-	}
-	var seen []string
-	ss.Each(func(s *Series) { seen = append(seen, s.Name) })
-	if len(seen) != 2 || seen[0] != "a" {
-		t.Fatalf("Each order = %v", seen)
-	}
-}
 
 func TestHistogramBasics(t *testing.T) {
 	var h Histogram
@@ -237,39 +150,6 @@ func TestMeanStddevSpread(t *testing.T) {
 	}
 	if got := MaxMinSpread(xs); got != 7 {
 		t.Fatalf("Spread = %v", got)
-	}
-}
-
-func TestSeriesSetPutMerge(t *testing.T) {
-	a := NewSeriesSet()
-	a.Get("x").Add(1, 1)
-	a.Get("y").Add(2, 2)
-
-	b := NewSeriesSet()
-	b.Get("y").Add(3, 30) // replaces a's y on merge
-	b.Get("z").Add(4, 40)
-
-	a.Merge(b)
-	if got := a.Names(); len(got) != 3 || got[0] != "x" || got[1] != "y" || got[2] != "z" {
-		t.Fatalf("merged names = %v, want [x y z]", got)
-	}
-	if v := a.Get("y").Last().V; v != 30 {
-		t.Fatalf("merged y last = %v, want the adopted series", v)
-	}
-	if v := a.Get("z").Last().V; v != 40 {
-		t.Fatalf("merged z last = %v", v)
-	}
-
-	// Merge with nil is a no-op; Put keeps first-created order stable.
-	a.Merge(nil)
-	s := &Series{Name: "x2"}
-	s.Add(9, 9)
-	a.Put("x", s)
-	if got := a.Names(); len(got) != 3 || got[0] != "x" {
-		t.Fatalf("Put reordered names: %v", got)
-	}
-	if v := a.Get("x").Last().V; v != 9 {
-		t.Fatalf("Put did not replace series: %v", v)
 	}
 }
 
