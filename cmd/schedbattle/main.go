@@ -39,28 +39,45 @@ import (
 
 func main() {
 	var (
-		list      = flag.Bool("list", false, "list experiments and exit")
-		run       = flag.String("run", "", "experiment id to run")
-		all       = flag.Bool("all", false, "run every experiment")
-		scale     = flag.Float64("scale", 1.0, "duration scale in (0,1]: 1.0 = paper-sized")
-		seriesDir = flag.String("series", "", "with -run/-all: directory for gnuplot series files; with -scenario: path for the probe-series CSV export")
-		jobs      = flag.Int("jobs", runtime.GOMAXPROCS(0), "trial-grid worker pool width")
-		seed      = flag.Int64("seed", 0, "base-seed perturbation for every trial (0 = the paper-tuned seeds)")
-		out       = flag.String("out", "", "write a structured JSON report to this file (\"-\" = stdout)")
-		scen      = flag.String("scenario", "", "run a scenario: bundled name or path to a .json spec")
-		scenList  = flag.Bool("scenarios", false, "list bundled scenarios and exit")
-		battleArg = flag.String("battle", "", "battle scenarios (comma-separated names/paths, or \"all\"): multi-seed replication, CIs, win/loss/tie matrix")
-		reps      = flag.Int("replications", 5, "battle seed-replication count per scheduler")
-		mdOut     = flag.String("md", "", "write the markdown battle matrix to this file (default: stdout)")
-		baseline  = flag.String("baseline", "", "with -battle: write a baseline snapshot here; with -check: the baseline to gate against")
-		check     = flag.Bool("check", false, "re-run the -baseline file's scenarios and exit non-zero on significant regressions")
-		perf      = flag.Bool("perf", false, "run the engine perf harness and write -perf-out")
-		perfOut   = flag.String("perf-out", "BENCH_engine.json", "engine perf harness output file")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		run        = flag.String("run", "", "experiment id to run")
+		all        = flag.Bool("all", false, "run every experiment")
+		scale      = flag.Float64("scale", 1.0, "duration scale in (0,1]: 1.0 = paper-sized")
+		seriesDir  = flag.String("series", "", "with -run/-all: directory for gnuplot series files; with -scenario: path for the probe-series CSV export")
+		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "trial-grid worker pool width")
+		seed       = flag.Int64("seed", 0, "base-seed perturbation for every trial (0 = the paper-tuned seeds)")
+		out        = flag.String("out", "", "write a structured JSON report to this file (\"-\" = stdout)")
+		scen       = flag.String("scenario", "", "run a scenario: bundled name or path to a .json spec")
+		scenList   = flag.Bool("scenarios", false, "list bundled scenarios and exit")
+		battleArg  = flag.String("battle", "", "battle scenarios (comma-separated names/paths, or \"all\"): multi-seed replication, CIs, win/loss/tie matrix")
+		reps       = flag.Int("replications", 5, "battle seed-replication count per scheduler")
+		mdOut      = flag.String("md", "", "write the markdown battle matrix to this file (default: stdout)")
+		baseline   = flag.String("baseline", "", "with -battle: write a baseline snapshot here; with -check: the baseline to gate against")
+		check      = flag.Bool("check", false, "re-run the -baseline file's scenarios and exit non-zero on significant regressions")
+		perf       = flag.Bool("perf", false, "run the engine perf harness and write -perf-out")
+		perfOut    = flag.String("perf-out", "BENCH_engine.json", "engine perf harness output file")
+		perfIters  = flag.Int("perf-iters", 5, "perf harness repetitions per scenario (best run is reported)")
+		perfCheck  = flag.Bool("perf-check", false, "re-time the perf scenarios and fail on events/sec regressions beyond -perf-tolerance vs the committed -perf-out trajectory")
+		perfTol    = flag.Float64("perf-tolerance", 0.10, "with -perf-check: allowed events/sec regression fraction")
+		perfLabel  = flag.String("perf-label", "", "perf harness trajectory label (default: short git head or \"dev\")")
+		perfEngine = flag.String("perf-engine", "wheel", "with -perf: event queue to time, \"wheel\" or \"heap\" (A/B the engines on one machine)")
+		cpuProf    = flag.String("cpuprofile", "", "with -perf: write a pprof CPU profile of the timed runs here")
+		memProf    = flag.String("memprofile", "", "with -perf: write a pprof heap profile taken after the timed runs here")
 	)
 	flag.Parse()
 
-	if *perf {
-		if err := runPerf(*perfOut); err != nil {
+	if *perf || *perfCheck {
+		opt := perfOptions{
+			iters: *perfIters, label: *perfLabel, engine: *perfEngine,
+			cpuProfile: *cpuProf, memProfile: *memProf,
+		}
+		var err error
+		if *perfCheck {
+			err = runPerfCheck(*perfOut, opt, *perfTol)
+		} else {
+			err = runPerf(*perfOut, opt)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "schedbattle: perf: %v\n", err)
 			os.Exit(1)
 		}

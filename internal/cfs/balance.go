@@ -46,13 +46,13 @@ func (s *Sched) newidle(c *sim.Core) bool {
 
 // rebalanceLLC pulls load from the busiest core in c's LLC domain.
 func (s *Sched) rebalanceLLC(c *sim.Core) bool {
-	cs := s.cores[c.ID]
+	cs := &s.cores[c.ID]
 	group := s.m.Topo.Group(c.ID, topo.LevelLLC)
 	busiest := s.busiestCore(group, c.ID)
 	if busiest < 0 {
 		return false
 	}
-	bs := s.cores[busiest]
+	bs := &s.cores[busiest]
 	if bs.runnableLoad()*100 <= cs.runnableLoad()*int64(s.P.LLCImbalancePct) {
 		return false
 	}
@@ -101,8 +101,8 @@ func (s *Sched) rebalanceNUMA(c *sim.Core) bool {
 	if busiest < 0 {
 		return false
 	}
-	bs := s.cores[busiest]
-	cs := s.cores[c.ID]
+	bs := &s.cores[busiest]
+	cs := &s.cores[c.ID]
 	if bs.runnableLoad()-cs.runnableLoad() <= nice0Weight*3/2 {
 		return false
 	}
@@ -148,7 +148,7 @@ func (s *Sched) pullFrom(victimID int, c *sim.Core, imbalance int64) int {
 		return 0
 	}
 	victim := s.m.Cores[victimID]
-	vs := s.cores[victimID]
+	vs := &s.cores[victimID]
 	now := s.m.Now()
 
 	// Collect candidates first: Migrate mutates the thread list.

@@ -106,14 +106,14 @@ func (s *Sched) findIdlest(t *sim.Thread, origin *sim.Core) *sim.Core {
 	var best *sim.Core
 	var bestLoad int64
 	scanned := 0
-	for id, cs := range s.cores {
+	for id := range s.cores {
 		scanned++
 		if !t.CanRunOn(id) {
 			continue
 		}
-		if best == nil || cs.runnableLoad() < bestLoad {
+		if load := s.cores[id].runnableLoad(); best == nil || load < bestLoad {
 			best = s.m.Cores[id]
-			bestLoad = cs.runnableLoad()
+			bestLoad = load
 		}
 	}
 	s.chargeScan(origin, best, scanned)

@@ -13,7 +13,7 @@ type Sched struct {
 	P Params
 
 	m      *sim.Machine
-	cores  []*coreState
+	cores  []coreState
 	root   *taskGroup
 	groups map[string]*taskGroup
 	nextID int
@@ -74,9 +74,12 @@ func (s *Sched) Attach(m *sim.Machine) {
 	for i := 0; i < n; i++ {
 		s.root.rqs[i] = &cfsRQ{core: i}
 	}
-	s.cores = make([]*coreState, n)
+	// One contiguous block of per-core state: the balancer's busiest-core
+	// and average-load sweeps read every core's counters, so adjacency
+	// matters more than anything else about this layout.
+	s.cores = make([]coreState, n)
 	for i, c := range m.Cores {
-		s.cores[i] = &coreState{core: c, root: s.root.rqs[i]}
+		s.cores[i] = coreState{core: c, root: s.root.rqs[i]}
 	}
 }
 
@@ -137,7 +140,7 @@ func (s *Sched) Exit(t *sim.Thread) {}
 
 // Enqueue implements sim.Scheduler.
 func (s *Sched) Enqueue(c *sim.Core, t *sim.Thread, flags int) {
-	cs := s.cores[c.ID]
+	cs := &s.cores[c.ID]
 	se := s.ent(t)
 	rq := s.rqFor(t, c.ID)
 
@@ -206,7 +209,7 @@ func (s *Sched) Enqueue(c *sim.Core, t *sim.Thread, flags int) {
 
 // Dequeue implements sim.Scheduler.
 func (s *Sched) Dequeue(c *sim.Core, t *sim.Thread, flags int) {
-	cs := s.cores[c.ID]
+	cs := &s.cores[c.ID]
 	se := s.ent(t)
 	rq := se.owner
 	if rq == nil || !se.onRQ {
@@ -247,7 +250,7 @@ func (s *Sched) Dequeue(c *sim.Core, t *sim.Thread, flags int) {
 // PickNext implements sim.Scheduler: descend picking the leftmost entity
 // at each level.
 func (s *Sched) PickNext(c *sim.Core) *sim.Thread {
-	cs := s.cores[c.ID]
+	cs := &s.cores[c.ID]
 	if s.m.Cost.PickFixedCost > 0 {
 		// Engine charges the fixed pick cost; nothing extra here.
 		_ = cs
@@ -274,7 +277,7 @@ func (s *Sched) PickNext(c *sim.Core) *sim.Thread {
 // PutPrev implements sim.Scheduler: charge the descended path and return it
 // to the trees.
 func (s *Sched) PutPrev(c *sim.Core, t *sim.Thread, flags int) {
-	cs := s.cores[c.ID]
+	cs := &s.cores[c.ID]
 	s.chargePath(cs, t)
 	se := s.ent(t)
 	rq := se.owner
@@ -386,7 +389,7 @@ func (s *Sched) CheckPreempt(c *sim.Core, t *sim.Thread, flags int) bool {
 	}
 	se := s.ent(t)
 	ce := s.ent(curr)
-	s.chargePath(s.cores[c.ID], curr)
+	s.chargePath(&s.cores[c.ID], curr)
 	a, b := se, ce
 	if s.P.Cgroups && se.owner != ce.owner {
 		// Compare the group entities at the root level.
@@ -412,7 +415,7 @@ func (s *Sched) matchLevel(e *entity, core int) *entity {
 // Tick implements sim.Scheduler: update vruntime, enforce the slice
 // (check_preempt_tick), and run the periodic balancer.
 func (s *Sched) Tick(c *sim.Core, curr *sim.Thread) {
-	cs := s.cores[c.ID]
+	cs := &s.cores[c.ID]
 	cs.ticks++
 	if curr != nil {
 		s.chargePath(cs, curr)

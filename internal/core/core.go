@@ -60,6 +60,9 @@ type MachineConfig struct {
 	// that opt out via NeedsIdleTick — the pre-tickless engine semantics,
 	// used by the tickless cross-validation tests.
 	ForceIdleTicks bool
+	// UseEventHeap runs the machine on the binary-heap event queue instead
+	// of the timer wheel (byte-identical outputs; wheel cross-validation).
+	UseEventHeap bool
 }
 
 // Topology returns the topo for the configured core count.
@@ -93,6 +96,7 @@ func NewMachine(mc MachineConfig) *sim.Machine {
 		Cost:           mc.Cost,
 		TraceCapacity:  mc.TraceCapacity,
 		ForceIdleTicks: mc.ForceIdleTicks,
+		UseEventHeap:   mc.UseEventHeap,
 	})
 	if mc.KernelNoise {
 		apps.StartKernelNoise(m, 15*time.Millisecond, 300*time.Microsecond)

@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Cross-validation of the two event-queue engines: the timer wheel must be
+// byte-interchangeable with the binary heap. Every bundled scenario and the
+// most engine-sensitive experiments (fig6's balancer convergence, fig7's
+// wake chain) run under both queues; the marshalled reports must be
+// identical to the byte. A single reordered pair of same-timestamp events
+// anywhere in a run would cascade into different seeds drawn, different
+// migrations, different figures — so this is the engine's end-to-end
+// determinism gate, on top of the unit-level oracle tests in internal/sim.
+
+// withEngine runs fn under the requested event queue, restoring the
+// previous engine selection afterwards.
+func withEngine(heap bool, fn func()) {
+	prev := sim.SetForceEventHeap(heap)
+	defer sim.SetForceEventHeap(prev)
+	fn()
+}
+
+func TestBundledScenariosEngineCrossValidation(t *testing.T) {
+	specs, err := Builtin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scale = 0.02 // windows floor at a few hundred ms — plenty of events
+	for _, sp := range specs {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			var wheel, heap []byte
+			withEngine(false, func() { wheel = runScenarioReport(t, sp, scale) })
+			withEngine(true, func() { heap = runScenarioReport(t, sp, scale) })
+			if !bytes.Equal(wheel, heap) {
+				t.Fatalf("wheel and heap reports differ for %s:\nwheel: %s\nheap:  %s",
+					sp.Name, firstDiff(wheel, heap), firstDiff(heap, wheel))
+			}
+		})
+	}
+}
+
+func runScenarioReport(t *testing.T, sp *Spec, scale float64) []byte {
+	t.Helper()
+	rep, err := sp.Run(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestExperimentsEngineCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment runs")
+	}
+	cases := []struct {
+		id    string
+		scale float64
+	}{
+		{"fig6", 0.1}, // pinned-phase balancer convergence: migration-order sensitive
+		{"fig7", 0.2}, // wake chain: wakeup-order sensitive
+	}
+	for _, tc := range cases {
+		t.Run(tc.id, func(t *testing.T) {
+			var wheel, heap []byte
+			withEngine(false, func() { wheel = runExperimentReport(t, tc.id, tc.scale) })
+			withEngine(true, func() { heap = runExperimentReport(t, tc.id, tc.scale) })
+			if !bytes.Equal(wheel, heap) {
+				t.Fatalf("wheel and heap reports differ for %s:\nwheel: %s\nheap:  %s",
+					tc.id, firstDiff(wheel, heap), firstDiff(heap, wheel))
+			}
+		})
+	}
+}
+
+func runExperimentReport(t *testing.T, id string, scale float64) []byte {
+	t.Helper()
+	e, err := core.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := FromResult(e.Run(scale))
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// firstDiff returns a window of a around the first byte where a and b
+// diverge, for a readable failure message.
+func firstDiff(a, b []byte) []byte {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := i - 60
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 60
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return a[lo:hi]
+}

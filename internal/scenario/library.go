@@ -6,6 +6,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // The bundled scenario library: curated specs embedded in the binary, one
@@ -16,8 +17,33 @@ import (
 //go:embed library/*.json
 var libraryFS embed.FS
 
-// Builtin parses every bundled scenario, sorted by name.
+// builtinCache holds the bundled library parsed and validated exactly once
+// per process: the embedded bytes never change, so `-battle all`, name
+// listings, and every LoadBuiltin share one set of compiled spec artifacts
+// instead of re-parsing the JSON per call. The cached specs are validated
+// (Parse runs Validate), which freezes their resolved-scheduler slices —
+// callers treat them as read-only and clone via WithSeeds before changing
+// axes.
+var builtinCache struct {
+	once  sync.Once
+	specs []*Spec
+	err   error
+}
+
+// Builtin returns every bundled scenario, sorted by name, parsed once per
+// process. The returned slice is fresh but the specs are shared — read-only.
 func Builtin() ([]*Spec, error) {
+	builtinCache.once.Do(func() {
+		builtinCache.specs, builtinCache.err = parseBuiltin()
+	})
+	if builtinCache.err != nil {
+		return nil, builtinCache.err
+	}
+	return append([]*Spec(nil), builtinCache.specs...), nil
+}
+
+// parseBuiltin parses every bundled scenario, sorted by name.
+func parseBuiltin() ([]*Spec, error) {
 	entries, err := libraryFS.ReadDir("library")
 	if err != nil {
 		return nil, fmt.Errorf("scenario: reading bundled library: %w", err)

@@ -54,13 +54,25 @@ func (s *Spec) ReplicationSeeds(n int) []int64 {
 
 // WithSeeds returns a copy of the spec with its seed axis replaced — the
 // replication driver's way of widening a scenario to n seeds without
-// mutating the loaded spec. The copy revalidates lazily (Compile calls
-// Validate), so a fresh resolved-scheduler slice is built instead of
-// aliasing the original's.
+// mutating the loaded spec. When the source spec is already validated and
+// the new seeds are valid, the copy stays validated and *shares* the
+// resolved-scheduler slice: resolution doesn't depend on the seed axis,
+// downstream consumers copy the parameter structs by value
+// (core.NewScheduler), and a validated spec never rewrites the slice — so
+// one decode of the overrides serves every replication. Otherwise the copy
+// drops the resolution and revalidates lazily (Compile calls Validate) with
+// its own fresh slice, leaving the original's untouched.
 func (s *Spec) WithSeeds(seeds []int64) *Spec {
 	clone := *s
 	clone.Seeds = append([]int64(nil), seeds...)
-	clone.resolved = nil
+	for _, sd := range seeds {
+		if sd < 0 {
+			clone.validated = false
+		}
+	}
+	if !clone.validated {
+		clone.resolved = nil
+	}
 	return &clone
 }
 

@@ -50,7 +50,7 @@ func TestTrialReportMetrics(t *testing.T) {
 	}
 }
 
-func TestWithSeedsDoesNotAliasResolved(t *testing.T) {
+func TestWithSeedsSharesResolvedReadOnly(t *testing.T) {
 	sp, err := Parse("mini.json", []byte(validSpec))
 	if err != nil {
 		t.Fatal(err)
@@ -62,12 +62,32 @@ func TestWithSeedsDoesNotAliasResolved(t *testing.T) {
 	if len(sp.Seeds) != 0 {
 		t.Fatalf("original seeds mutated: %v", sp.Seeds)
 	}
-	// Re-validating the clone must not clobber the original's resolved
-	// scheduler slice through a shared backing array.
+	// A validated source shares its resolution: the clone is born
+	// validated, so re-validating is a no-op that never rewrites the
+	// shared slice under the original.
+	if !clone.validated {
+		t.Fatal("clone of a validated spec must stay validated")
+	}
 	if err := clone.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	if len(sp.resolved) != 1 || string(sp.resolved[0].kind) != "cfs" {
 		t.Fatalf("original resolved disturbed: %+v", sp.resolved)
+	}
+	if len(clone.resolved) != 1 || &clone.resolved[0] != &sp.resolved[0] {
+		t.Fatalf("clone must share the validated resolution: %+v", clone.resolved)
+	}
+
+	// Invalid replacement seeds force the clone back through full
+	// validation, with its own resolution slice, and surface the error.
+	bad := sp.WithSeeds([]int64{-1})
+	if bad.validated || bad.resolved != nil {
+		t.Fatalf("clone with invalid seeds must revalidate: validated=%v resolved=%+v", bad.validated, bad.resolved)
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative seed must fail validation")
+	}
+	if len(sp.resolved) != 1 || string(sp.resolved[0].kind) != "cfs" {
+		t.Fatalf("original resolved disturbed by failed clone validation: %+v", sp.resolved)
 	}
 }

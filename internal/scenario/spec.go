@@ -51,8 +51,11 @@ type Spec struct {
 	Series *SeriesSpec `json:"series,omitempty"`
 
 	// resolved is filled by Validate: scheduler entries with "*" expanded
-	// and parameter overrides decoded.
-	resolved []resolvedSched
+	// and parameter overrides decoded. Once validated is set the slice is
+	// read-only, so spec copies (WithSeeds) share it — the decoded
+	// parameter overrides are compiled once however many replications run.
+	resolved  []resolvedSched
+	validated bool
 }
 
 // MachineSpec configures the simulated machine.

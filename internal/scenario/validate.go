@@ -100,8 +100,15 @@ func suggest(name string, known []string) string {
 
 // Validate checks the spec and resolves scheduler kinds and parameter
 // overrides. Errors are *Error values positioned at the offending field's
-// spec path. Validate is idempotent; Compile calls it if needed.
+// spec path. Validate is idempotent and caches success: a spec validates
+// once, and every later call — each Compile of a replication sweep, every
+// trial grid built from a shared bundled spec — returns immediately
+// without re-decoding overrides or touching the resolved slice (which
+// spec copies may share).
 func (s *Spec) Validate() error {
+	if s.validated {
+		return nil
+	}
 	if strings.TrimSpace(s.Name) == "" {
 		return verr("name", "scenario name is required")
 	}
@@ -177,6 +184,7 @@ func (s *Spec) Validate() error {
 			return err
 		}
 	}
+	s.validated = true
 	return nil
 }
 

@@ -19,15 +19,13 @@ type Core struct {
 	NeedResched bool
 
 	// runStart is when the current accounting segment began (burst start,
-	// or the last flush point).
+	// or the last flush point). Burst-end and tick validation tokens live
+	// in the machine's dense Machine.coreTok table, not here, so stale
+	// timer events are dropped without loading this struct.
 	runStart time.Duration
-	// burstToken invalidates in-flight burst-end events.
-	burstToken uint64
 
 	// tickOffset staggers this core's tick grid (offset + k*period, k ≥ 1).
 	tickOffset time.Duration
-	// tickToken invalidates in-flight tick events (parked or re-armed).
-	tickToken uint64
 	// tickParked is set while the tick is suppressed on an idle core
 	// (tickless mode only); markBusy re-arms on the grid.
 	tickParked bool
@@ -129,7 +127,7 @@ func (c *Core) markIdle() {
 			// Tickless: park the tick; the in-flight event is dropped by
 			// the token bump when it pops (recording parkWatermark there).
 			c.tickParked = true
-			c.tickToken++
+			c.mach.coreTok[c.ID].tick++
 			c.parkAt = c.tickAt
 			c.parkWatermark = 0
 		}

@@ -7,8 +7,8 @@ import (
 
 // eventKind tags a typed timer event. The hot timer paths — scheduler
 // ticks, burst ends, timed sleep wake-ups — are fully described by
-// (kind, target, token) and stored inline in the heap, so arming them
-// allocates nothing. Closures survive only in the rare generic kind
+// (kind, target, token) and stored inline in the event queue, so arming
+// them allocates nothing. Closures survive only in the rare generic kind
 // (workload/driver callbacks) and in the per-Every periodic state, which is
 // allocated once per registration and reused across firings.
 type eventKind uint8
@@ -17,21 +17,21 @@ const (
 	// evGeneric runs an arbitrary callback (Machine.At / Machine.After).
 	evGeneric eventKind = iota
 	// evTick is a per-core scheduler tick; token is validated against
-	// Core.tickToken, dropping parked or superseded ticks.
+	// Machine.coreTok[core].tick, dropping parked or superseded ticks.
 	evTick
 	// evBurstEnd completes the running thread's CPU burst on a core; token
-	// is validated against Core.burstToken.
+	// is validated against Machine.coreTok[core].burst.
 	evBurstEnd
 	// evSleepWake ends a timed OpSleep; token is validated against
-	// Thread.sleepToken.
+	// Machine.sleepTok[tid-1].
 	evSleepWake
 	// evPeriodic re-fires a Machine.Every callback until it returns false.
 	evPeriodic
 )
 
 // callback is the side-table slot of a generic or periodic event: closures
-// live here, referenced from the heap by handle, keeping the heap elements
-// pointer-free (no GC write barriers on sift copies). Slots are free-listed:
+// live here, referenced from queued events by handle, keeping the queue
+// elements pointer-free (no GC write barriers on copies). Slots are free-listed:
 // a generic slot is released when it fires, a periodic one when its fn
 // returns false, so steady-state timer traffic allocates nothing.
 type callback struct {
@@ -59,7 +59,9 @@ type event struct {
 	kind  eventKind
 }
 
-// eventHeap is a binary min-heap of events ordered by (at, seq).
+// eventHeap is a binary min-heap of events ordered by (at, seq): the
+// original engine queue, kept as the cross-validation escape hatch
+// (Options.UseEventHeap) and as the timer wheel's overflow structure.
 type eventHeap struct {
 	es []event
 }

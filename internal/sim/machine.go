@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stats"
@@ -32,10 +33,25 @@ type Machine struct {
 	// hook site and nothing else.
 	hooks *hooks
 
-	now    time.Duration
-	heap   eventHeap
-	seq    uint64
-	events uint64
+	now time.Duration
+	// wheel is the default event queue; heap is the cross-validation
+	// escape hatch (Options.UseEventHeap), kept byte-equivalent by the
+	// strict (at, seq) total order both implement.
+	wheel   timerWheel
+	heap    eventHeap
+	useHeap bool
+	seq     uint64
+	events  uint64
+
+	// coreArr is the contiguous backing store of Cores: the dispatch path
+	// walks cores by dense index instead of chasing per-core allocations.
+	coreArr []Core
+	// coreTok / sleepTok are the struct-of-arrays timer-token tables,
+	// indexed by core ID and thread ID-1: stale timer events (superseded
+	// ticks, re-armed burst ends, cancelled sleep wakes) are dropped from
+	// these dense lines without touching the wide Core/Thread structs.
+	coreTok  []coreTokens
+	sleepTok []uint64
 
 	// cbs is the side table of generic/periodic callbacks, referenced from
 	// heap events by handle; cbFree heads its freelist (-1 = empty).
@@ -66,6 +82,14 @@ type Machine struct {
 	ticksOn bool
 }
 
+// coreTokens packs one core's timer-validation counters: stale burst-end
+// and tick events are detected against these two words, four cores per
+// cache line, without loading the core struct itself.
+type coreTokens struct {
+	burst uint64
+	tick  uint64
+}
+
 // Options configures machine construction.
 type Options struct {
 	// Seed seeds the deterministic PRNG (default 1).
@@ -79,7 +103,22 @@ type Options struct {
 	// the scheduler reports NeedsIdleTick() == false — the pre-tickless
 	// engine semantics, kept for cross-validation tests and A/B timing.
 	ForceIdleTicks bool
+	// UseEventHeap runs the machine on the binary-heap event queue instead
+	// of the hierarchical timer wheel. Both implement the same strict
+	// (at, seq) order, so all outputs are byte-identical; the flag exists
+	// for cross-validation and A/B timing.
+	UseEventHeap bool
 }
+
+// forceEventHeap is the package-wide UseEventHeap override the
+// cross-validation suite flips to rebuild identical machines on the heap
+// engine without threading an option through every construction site.
+var forceEventHeap atomic.Bool
+
+// SetForceEventHeap forces (or stops forcing) every subsequently built
+// machine onto the binary-heap event queue, returning the previous
+// setting. Intended for wheel-vs-heap cross-validation tests.
+func SetForceEventHeap(v bool) bool { return forceEventHeap.Swap(v) }
 
 // NewMachine builds a machine with the given topology and scheduler and
 // attaches the scheduler. Per-core scheduler ticks start immediately.
@@ -101,9 +140,18 @@ func NewMachine(tp *topo.Topology, sched Scheduler, opts Options) *Machine {
 		nextTID:  1,
 		cbFree:   -1,
 	}
+	m.useHeap = opts.UseEventHeap || forceEventHeap.Load()
+	if !m.useHeap {
+		m.wheel.init()
+	}
+	// One contiguous allocation backs every core plus the dense token
+	// table: the dispatch path indexes both by core ID.
+	m.coreArr = make([]Core, tp.NCores())
+	m.coreTok = make([]coreTokens, tp.NCores())
 	m.Cores = make([]*Core, tp.NCores())
-	for i := range m.Cores {
-		m.Cores[i] = &Core{ID: i, mach: m, wasIdle: true}
+	for i := range m.coreArr {
+		m.coreArr[i] = Core{ID: i, mach: m, wasIdle: true}
+		m.Cores[i] = &m.coreArr[i]
 	}
 	sched.Attach(m)
 	m.idleTicks = opts.ForceIdleTicks || sched.NeedsIdleTick()
@@ -132,7 +180,7 @@ func (m *Machine) LiveThreads() int { return m.live }
 func (m *Machine) ExecCore() *Core { return m.execCore }
 
 // schedule clamps the event to now, stamps its sequence number, and pushes
-// it. Every event enters the heap through here, so equal-time events fire
+// it. Every event enters the queue through here, so equal-time events fire
 // in scheduling order.
 func (m *Machine) schedule(e event) {
 	if e.at < m.now {
@@ -141,7 +189,11 @@ func (m *Machine) schedule(e event) {
 	m.seq++
 	e.seq = m.seq
 	e.armed = m.now
-	m.heap.push(e)
+	if m.useHeap {
+		m.heap.push(e)
+		return
+	}
+	m.wheel.push(e)
 }
 
 // newCallback takes a free callback slot, growing the side table only when
@@ -190,10 +242,10 @@ func (m *Machine) Every(start, period time.Duration, fn func() bool) {
 func (m *Machine) fire(e *event) {
 	switch e.kind {
 	case evBurstEnd:
-		c := m.Cores[e.id]
-		if c.burstToken != e.token {
+		if m.coreTok[e.id].burst != e.token {
 			return
 		}
+		c := &m.coreArr[e.id]
 		t := m.threads[e.tid-1]
 		if c.Curr != t {
 			return
@@ -206,10 +258,12 @@ func (m *Machine) fire(e *event) {
 		}
 		m.completeOpNow(c, t)
 	case evTick:
-		m.fireTick(m.Cores[e.id], e.token)
+		m.fireTick(&m.coreArr[e.id], e.token)
 	case evSleepWake:
-		t := m.threads[e.tid-1]
-		if t.sleepToken == e.token && t.state == StateSleeping {
+		if m.sleepTok[e.tid-1] != e.token {
+			return
+		}
+		if t := m.threads[e.tid-1]; t.state == StateSleeping {
 			m.Wake(t)
 		}
 	case evPeriodic:
@@ -240,13 +294,44 @@ func (m *Machine) endRun() {
 	m.curSeq = m.seq
 }
 
+// qLen reports how many events are pending on the active queue.
+func (m *Machine) qLen() int {
+	if m.useHeap {
+		return m.heap.len()
+	}
+	return m.wheel.len()
+}
+
+// nextEvent pops the next event if it is due at or before until. On the
+// wheel engine the common case is one bounds check into the already-sorted
+// live slot batch — the batched same-timestamp dispatch the wheel exists
+// for; advance() runs only when a batch drains.
+func (m *Machine) nextEvent(until time.Duration) (event, bool) {
+	if m.useHeap {
+		if m.heap.len() == 0 || m.heap.es[0].at > until {
+			return event{}, false
+		}
+		return m.heap.pop(), true
+	}
+	w := &m.wheel
+	if w.curIdx >= len(w.cur) && !w.advance() {
+		return event{}, false
+	}
+	if w.cur[w.curIdx].at > until {
+		return event{}, false
+	}
+	e := w.cur[w.curIdx]
+	w.curIdx++
+	return e, true
+}
+
 // Run processes events until the clock reaches until.
 func (m *Machine) Run(until time.Duration) {
-	for m.heap.len() > 0 {
-		if m.heap.es[0].at > until {
+	for {
+		e, ok := m.nextEvent(until)
+		if !ok {
 			break
 		}
-		e := m.heap.pop()
 		m.now = e.at
 		m.events++
 		m.curArmed, m.curSeq = e.armed, e.seq
@@ -264,15 +349,15 @@ func (m *Machine) Run(until time.Duration) {
 // RunUntil processes events until pred returns true or the clock reaches
 // max; it reports whether pred was satisfied.
 func (m *Machine) RunUntil(pred func() bool, max time.Duration) bool {
-	for m.heap.len() > 0 {
+	for m.qLen() > 0 {
 		if pred() {
 			m.endRun()
 			return true
 		}
-		if m.heap.es[0].at > max {
+		e, ok := m.nextEvent(max)
+		if !ok {
 			break
 		}
-		e := m.heap.pop()
 		m.now = e.at
 		m.events++
 		m.curArmed, m.curSeq = e.armed, e.seq
@@ -338,6 +423,7 @@ func (m *Machine) spawn(name, group string, nice int, prog Program, parent *Thre
 	}
 	m.nextTID++
 	m.threads = append(m.threads, t)
+	m.sleepTok = append(m.sleepTok, 0)
 	m.live++
 	m.sched.Fork(parent, t)
 	origin := m.execCore
@@ -353,7 +439,7 @@ func (m *Machine) Wake(t *Thread) {
 	if t.state != StateSleeping && t.state != StateBlocked {
 		return
 	}
-	t.sleepToken++ // cancel any pending timer wake
+	m.sleepTok[t.ID-1]++ // cancel any pending timer wake
 	if t.wq != nil {
 		t.wq.removeWaiter(t)
 	}
@@ -636,13 +722,14 @@ func (m *Machine) start(c *Core, t *Thread) {
 // hot path allocates nothing.
 func (m *Machine) scheduleBurstEnd(c *Core) {
 	t := c.Curr
-	c.burstToken++
+	tok := &m.coreTok[c.ID]
+	tok.burst++
 	m.schedule(event{
 		at:    c.runStart + t.opRemaining,
 		kind:  evBurstEnd,
 		id:    int32(c.ID),
 		tid:   int32(t.ID),
-		token: c.burstToken,
+		token: tok.burst,
 	})
 }
 
@@ -770,7 +857,7 @@ func (m *Machine) deschedule(c *Core, flags int) {
 		return
 	}
 	c.flushRun()
-	c.burstToken++ // invalidate burst-end
+	m.coreTok[c.ID].burst++ // invalidate burst-end
 	if flags&FlagPreempted != 0 {
 		m.Trace.Record(trace.Event{At: m.now, Kind: trace.Preempt, Core: c.ID, OtherCore: -1, Thread: t.ID})
 		t.pendingPenalty += m.Cost.PreemptPenalty
@@ -787,8 +874,8 @@ func (m *Machine) sleepCurrent(c *Core, t *Thread, d time.Duration) {
 	m.stopCurrent(c, t, FlagSleep)
 	t.state = StateSleeping
 	t.sleepStart = m.now
-	t.sleepToken++
-	m.schedule(event{at: m.now + d, kind: evSleepWake, tid: int32(t.ID), token: t.sleepToken})
+	m.sleepTok[t.ID-1]++
+	m.schedule(event{at: m.now + d, kind: evSleepWake, tid: int32(t.ID), token: m.sleepTok[t.ID-1]})
 	if c.Curr == nil {
 		m.dispatch(c)
 	}
@@ -827,7 +914,7 @@ func (m *Machine) exitCurrent(c *Core, t *Thread) {
 // stopCurrent is the common leave-the-CPU path for sleep/block/exit.
 func (m *Machine) stopCurrent(c *Core, t *Thread, flags int) {
 	c.flushRun()
-	c.burstToken++
+	m.coreTok[c.ID].burst++
 	t.LastCore = c
 	t.LastRanAt = m.now
 	// Dequeue while c.Curr still points at t, so the scheduler can tell a
@@ -872,14 +959,15 @@ func (m *Machine) startTicks() {
 // armTick schedules c's next tick at the absolute time at, superseding any
 // in-flight tick event for the core.
 func (m *Machine) armTick(c *Core, at time.Duration) {
-	c.tickToken++
+	tok := &m.coreTok[c.ID]
+	tok.tick++
 	c.tickAt = at
-	m.schedule(event{at: at, kind: evTick, id: int32(c.ID), token: c.tickToken})
+	m.schedule(event{at: at, kind: evTick, id: int32(c.ID), token: tok.tick})
 }
 
 // fireTick runs one scheduler tick on c and re-arms or parks the next one.
 func (m *Machine) fireTick(c *Core, token uint64) {
-	if token != c.tickToken {
+	if token != m.coreTok[c.ID].tick {
 		// Superseded: the core parked or re-armed since. If this is the
 		// parked tick popping at the first suppressed grid point, remember
 		// the sequence watermark — the position the always-ticking idle

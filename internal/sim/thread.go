@@ -104,8 +104,9 @@ type Thread struct {
 	// after migration or preemption).
 	pendingPenalty time.Duration
 
+	// sleepStart is when the current sleep/block began; the timer-wake
+	// validation token lives in the machine's dense Machine.sleepTok table.
 	sleepStart time.Duration
-	sleepToken uint64
 	wq         *WaitQueue // wait queue we are blocked on, if any
 
 	// ctx is the thread's reusable Program context, so operation

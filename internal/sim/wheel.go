@@ -1,0 +1,374 @@
+package sim
+
+import (
+	"math/bits"
+	"time"
+)
+
+// The hierarchical timer wheel: the engine's default event queue. Most
+// simulation events — scheduler ticks, burst ends, timed sleeps — are armed
+// a short horizon ahead of the clock, so a wheel turns the heap's O(log n)
+// sift per insert/expire into O(1) slot appends and batched slot drains.
+//
+// Layout: wheelLevels rings of wheelSlots slots over the event clock
+// (nanosecond time.Duration values). Level k's slots are
+// 2^(wheelShift0 + k*wheelBits) ns wide — 4.096µs at level 0, then ~1ms,
+// ~268ms, ~68.7s. Filing is delta-based: an event goes to the lowest level
+// where its slot index is within a full ring of the cursor's position at
+// that level, so anything under ~1ms of horizon lands in level 0 no matter
+// where the boundaries fall, under ~268ms in level 1, and so on; events
+// past the top level's rolling horizon (~4.9h) wait in a small overflow
+// heap. When the cursor reaches a higher-level slot, that slot's events
+// cascade one level down (each event cascades at most wheelLevels-1 times),
+// and when the overflow's span becomes reachable its events are refiled.
+//
+// Determinism contract: events pop in strictly increasing (at, seq) order —
+// exactly the binary heap's total order, so the two engines are
+// byte-interchangeable (Options.UseEventHeap; the cross-validation suite
+// holds them to that). The invariants behind it:
+//
+//  1. Every undelivered event with at < curEnd (= cursor slot start) is in
+//     cur, sorted by (at, seq), undrained portion cur[curIdx:].
+//  2. The cursor never sits inside an occupied upper-level slot: whenever
+//     it enters one — stepping past a drained slot or jumping forward in
+//     advance() — the slot cascades immediately (cascadeInto), before any
+//     push can file newer events into the lower levels that slot feeds.
+//     file() preserves this: it never targets a slot containing the
+//     cursor, because an event inside the cursor's level-k slot is always
+//     within a ring of the cursor at level k-1 and files lower.
+//  3. advance() always picks the earliest non-empty slot: level 0 is
+//     scanned up to the next level-1 boundary first (no higher-level slot
+//     can start before that boundary), and past it every level is scanned
+//     a full ring, taking the slot with the smallest start — ties to the
+//     higher level, whose slot's events may precede the lower's.
+//
+// Slot drains sort once and then serve pops by index — the batched
+// same-timestamp processing the dispatch loop relies on: one advance()
+// prepares a whole slot, and Machine.Run consumes it without touching the
+// wheel structure again.
+const (
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelShift0 = 12 // 4.096µs level-0 slots
+	wheelLevels = 4
+
+	// wheelSlotCap seeds every slot's backing array (one arena allocation
+	// at init), so steady-state filing into rarely-visited slots does not
+	// allocate; busier slots grow once and keep their capacity.
+	wheelSlotCap = 2
+)
+
+// wheelLevel is one ring of slots plus a non-empty bitmap for O(1) scans.
+type wheelLevel struct {
+	slots  [wheelSlots][]event
+	bitmap [wheelSlots / 64]uint64
+}
+
+// mark flags slot idx (masked absolute index) as non-empty.
+func (lv *wheelLevel) mark(idx int64) {
+	lv.bitmap[idx>>6] |= 1 << uint(idx&63)
+}
+
+// clear flags slot idx as empty.
+func (lv *wheelLevel) clear(idx int64) {
+	lv.bitmap[idx>>6] &^= 1 << uint(idx&63)
+}
+
+// occupied reports whether slot idx holds events.
+func (lv *wheelLevel) occupied(idx int64) bool {
+	return lv.bitmap[idx>>6]&(1<<uint(idx&63)) != 0
+}
+
+// next returns the first non-empty absolute slot in [from, to), scanning
+// the bitmap word-wise. to-from <= wheelSlots, so although the masked
+// window may wrap the ring, no slot is visited twice.
+func (lv *wheelLevel) next(from, to int64) (int64, bool) {
+	for s := from; s < to; {
+		idx := s & wheelMask
+		word := lv.bitmap[idx>>6] >> uint(idx&63)
+		if word != 0 {
+			s += int64(bits.TrailingZeros64(word))
+			if s >= to {
+				return 0, false
+			}
+			return s, true
+		}
+		s += 64 - (idx & 63)
+	}
+	return 0, false
+}
+
+// timerWheel is the engine's event queue. init must run before use.
+type timerWheel struct {
+	// cur is the current slot batch: all undelivered events earlier than
+	// curEnd(), sorted by (at, seq); cur[:curIdx] is already delivered.
+	cur    []event
+	curIdx int
+	// cursor is the next unvisited absolute level-0 slot index; everything
+	// before cursor<<wheelShift0 is delivered or in cur.
+	cursor int64
+	// size counts events filed in the levels (excluding cur and overflow).
+	size   int
+	levels [wheelLevels]wheelLevel
+	// over holds events beyond the top level's rolling horizon, ordered;
+	// they are refiled when their span becomes reachable.
+	over eventHeap
+}
+
+// init carves every slot's initial backing out of one arena, so filing
+// allocates only when a slot outgrows wheelSlotCap (and then keeps the
+// larger capacity for the rest of the run).
+func (w *timerWheel) init() {
+	arena := make([]event, wheelLevels*wheelSlots*wheelSlotCap)
+	i := 0
+	for k := range w.levels {
+		for s := range w.levels[k].slots {
+			w.levels[k].slots[s] = arena[i : i : i+wheelSlotCap]
+			i += wheelSlotCap
+		}
+	}
+}
+
+// curEnd is the exclusive upper bound of the region covered by cur.
+func (w *timerWheel) curEnd() time.Duration {
+	return time.Duration(w.cursor << wheelShift0)
+}
+
+// len reports the number of undelivered events.
+func (w *timerWheel) len() int {
+	return (len(w.cur) - w.curIdx) + w.size + w.over.len()
+}
+
+// push files one event. Events always arrive with at >= the machine clock
+// and a fresh (maximal) seq, which invariants 1-3 above rely on.
+func (w *timerWheel) push(e event) {
+	if int64(e.at)>>wheelShift0 < w.cursor {
+		w.pushCur(e)
+		return
+	}
+	w.file(e)
+}
+
+// pushCur ordered-inserts into the live batch. The event's seq is the
+// largest issued, so it sorts after every queued event with at' <= at;
+// binary search on at alone finds the spot.
+func (w *timerWheel) pushCur(e event) {
+	i, j := w.curIdx, len(w.cur)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if w.cur[h].at <= e.at {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	w.cur = append(w.cur, event{})
+	copy(w.cur[i+1:], w.cur[i:])
+	w.cur[i] = e
+}
+
+// file places an event with at >= curEnd into the lowest level whose ring
+// reaches it from the cursor, or the overflow heap beyond the top horizon.
+func (w *timerWheel) file(e event) {
+	slot := int64(e.at) >> wheelShift0
+	for k := 0; k < wheelLevels; k++ {
+		shift := uint(wheelBits * k)
+		if slot>>shift-w.cursor>>shift < wheelSlots {
+			lv := &w.levels[k]
+			idx := (slot >> shift) & wheelMask
+			lv.slots[idx] = append(lv.slots[idx], e)
+			lv.mark(idx)
+			w.size++
+			return
+		}
+	}
+	w.over.push(e)
+}
+
+// peekAt returns the next event's time without consuming it, advancing the
+// wheel to the next non-empty slot if the live batch is drained.
+func (w *timerWheel) peekAt() (time.Duration, bool) {
+	if w.curIdx < len(w.cur) {
+		return w.cur[w.curIdx].at, true
+	}
+	if !w.advance() {
+		return 0, false
+	}
+	return w.cur[w.curIdx].at, true
+}
+
+// pop consumes the next event; peekAt must have returned true.
+func (w *timerWheel) pop() event {
+	e := w.cur[w.curIdx]
+	w.curIdx++
+	return e
+}
+
+// advance drains the earliest non-empty slot into cur (invariant 3).
+// Returns false when the queue is empty.
+func (w *timerWheel) advance() bool {
+	w.cur = w.cur[:0]
+	w.curIdx = 0
+	for {
+		// Refile overflow events the top ring now covers, *before* slot
+		// selection: the cursor may have advanced past enough top-level
+		// boundaries since they were parked that they are reachable — and
+		// a later event filed directly into the wheel must not overtake
+		// them. With an empty wheel, jump straight to the overflow's span
+		// first so the refile lands its head.
+		const topShift = uint(wheelBits * (wheelLevels - 1))
+		if w.size == 0 {
+			if w.over.len() == 0 {
+				return false
+			}
+			w.cursor = int64(w.over.es[0].at) >> wheelShift0
+		}
+		for w.over.len() > 0 {
+			slot := int64(w.over.es[0].at) >> wheelShift0
+			if slot>>topShift-w.cursor>>topShift >= wheelSlots {
+				break
+			}
+			w.file(w.over.pop())
+		}
+		// Fast path: the earliest level-0 slot before the next level-1
+		// boundary. No higher-level slot can start before that boundary
+		// (their starts are coarser-aligned and the cursor's own containing
+		// slots are empty), so a hit here is the global minimum.
+		blockEnd := (w.cursor &^ wheelMask) + wheelSlots
+		if s, ok := w.levels[0].next(w.cursor, blockEnd); ok {
+			w.drainSlot(s)
+			return true
+		}
+		// Otherwise: earliest occupied slot across all levels, each level
+		// scanned one full ring from the cursor's position. Ties go to the
+		// higher level — its slot's events may precede the lower slot's.
+		best, bestLevel := int64(-1), -1
+		if s, ok := w.levels[0].next(blockEnd, w.cursor+wheelSlots); ok {
+			best, bestLevel = s, 0
+		}
+		for k := 1; k < wheelLevels; k++ {
+			shift := uint(wheelBits * k)
+			pos := w.cursor >> shift
+			if s, ok := w.levels[k].next(pos, pos+wheelSlots); ok {
+				if abs := s << shift; best < 0 || abs <= best {
+					best, bestLevel = abs, k
+				}
+			}
+		}
+		if bestLevel < 0 {
+			panic("sim: timer wheel scanned empty with events filed")
+		}
+		if bestLevel == 0 {
+			w.drainSlot(best)
+			return true
+		}
+		// Jump to the winning slot's start, then cascade *every* occupied
+		// slot containing the new cursor (invariant 2) — not just the
+		// winner: its start can coincide with an occupied slot at another
+		// level (a level-2 boundary is also a level-1 boundary), and
+		// leaving that one behind would strand its events while the fast
+		// path marches past them. The rescan then finds the earliest
+		// refiled event.
+		w.cursor = best
+		w.cascadeInto()
+	}
+}
+
+// drainSlot moves level-0 slot s into cur, sorted, and steps the cursor
+// past it. Stepping past may put the cursor inside occupied higher-level
+// slots; those cascade immediately (invariant 2) — before push() can file
+// new events into the lower levels they feed.
+func (w *timerWheel) drainSlot(s int64) {
+	lv := &w.levels[0]
+	idx := s & wheelMask
+	sl := lv.slots[idx]
+	w.cur = append(w.cur[:0], sl...)
+	lv.slots[idx] = sl[:0]
+	lv.clear(idx)
+	w.size -= len(w.cur)
+	w.cursor = s + 1
+	if w.cursor&wheelMask == 0 {
+		w.cascadeInto()
+	}
+	sortEvents(w.cur)
+}
+
+// cascadeInto cascades every occupied slot that contains the cursor,
+// top-down (a higher cascade may feed lower levels, never an occupied
+// containing slot — see invariant 2). It reports whether any slot
+// cascaded.
+func (w *timerWheel) cascadeInto() bool {
+	any := false
+	for k := wheelLevels - 1; k >= 1; k-- {
+		pos := w.cursor >> uint(wheelBits*k)
+		if w.levels[k].occupied(pos & wheelMask) {
+			w.cascade(k, pos)
+			any = true
+		}
+	}
+	return any
+}
+
+// cascade refiles level-k slot s into the lower levels. The cursor is
+// inside the slot, so every event refiles strictly below k; the slot's
+// backing array is untouched by those appends and is kept for reuse.
+func (w *timerWheel) cascade(k int, s int64) {
+	lv := &w.levels[k]
+	idx := s & wheelMask
+	sl := lv.slots[idx]
+	lv.clear(idx)
+	w.size -= len(sl)
+	for i := range sl {
+		w.file(sl[i])
+	}
+	lv.slots[idx] = sl[:0]
+}
+
+// sortEvents orders a drained slot by (at, seq): insertion sort for the
+// common small batch, sift-down heapsort (in place, allocation-free,
+// deterministic) past that.
+func sortEvents(es []event) {
+	n := len(es)
+	if n < 2 {
+		return
+	}
+	if n <= 32 {
+		for i := 1; i < n; i++ {
+			e := es[i]
+			j := i - 1
+			for j >= 0 && eventBefore(&e, &es[j]) {
+				es[j+1] = es[j]
+				j--
+			}
+			es[j+1] = e
+		}
+		return
+	}
+	// Max-heapify then extract: ascending order without allocations.
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownEvents(es, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		es[0], es[end] = es[end], es[0]
+		siftDownEvents(es, 0, end)
+	}
+}
+
+// siftDownEvents restores the max-heap property for es[:n] rooted at i.
+func siftDownEvents(es []event, i, n int) {
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if r := c + 1; r < n && eventBefore(&es[c], &es[r]) {
+			c = r
+		}
+		if !eventBefore(&es[i], &es[c]) {
+			return
+		}
+		es[i], es[c] = es[c], es[i]
+		i = c
+	}
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The timer wheel's determinism contract is "pops in exactly the binary
+// heap's (at, seq) order". These tests hold it to that with the heap as the
+// oracle, concentrating on the places a hierarchical wheel can go subtly
+// wrong: slot and level boundaries, cascades the cursor lands inside,
+// far-future overflow refiling, and same-timestamp seq ordering.
+
+// wheelOracle drives a wheel and a heap through one interleaved
+// push/pop schedule and fails on the first divergence.
+type wheelOracle struct {
+	t     *testing.T
+	w     timerWheel
+	h     eventHeap
+	seq   uint64
+	clock time.Duration
+	pops  int
+}
+
+func newWheelOracle(t *testing.T) *wheelOracle {
+	o := &wheelOracle{t: t}
+	o.w.init()
+	return o
+}
+
+// push schedules an event at the given time on both queues. Times before
+// the current clock are clamped to it, matching the engine's "never
+// schedule into the past" guarantee.
+func (o *wheelOracle) push(at time.Duration) {
+	if at < o.clock {
+		at = o.clock
+	}
+	o.seq++
+	e := event{at: at, seq: o.seq, id: int32(o.seq)}
+	o.w.push(e)
+	o.h.push(e)
+}
+
+// pop consumes one event from both queues and compares. Returns false when
+// both are empty; diverging emptiness or content fails the test.
+func (o *wheelOracle) pop() bool {
+	o.t.Helper()
+	wAt, wOK := o.w.peekAt()
+	hOK := o.h.len() > 0
+	if wOK != hOK {
+		o.t.Fatalf("pop %d: wheel nonempty=%v, heap nonempty=%v", o.pops, wOK, hOK)
+	}
+	if !wOK {
+		return false
+	}
+	we := o.w.pop()
+	he := o.h.pop()
+	if we != he {
+		o.t.Fatalf("pop %d: wheel {at=%v seq=%d}, heap {at=%v seq=%d}",
+			o.pops, we.at, we.seq, he.at, he.seq)
+	}
+	if wAt != we.at {
+		o.t.Fatalf("pop %d: peekAt %v but popped at=%v", o.pops, wAt, we.at)
+	}
+	if we.at < o.clock {
+		o.t.Fatalf("pop %d: time went backwards: %v after %v", o.pops, we.at, o.clock)
+	}
+	o.clock = we.at
+	o.pops++
+	return true
+}
+
+// drain pops until both queues are empty.
+func (o *wheelOracle) drain() {
+	for o.pop() {
+	}
+	if got := o.w.len(); got != 0 {
+		o.t.Fatalf("wheel len = %d after drain", got)
+	}
+}
+
+// TestWheelMatchesHeapFuzz interleaves random pushes and pops with horizons
+// spanning every wheel level and the overflow, across several seeds.
+func TestWheelMatchesHeapFuzz(t *testing.T) {
+	// Horizon buckets, one per structural regime: within the current
+	// level-0 slot, level 0, each higher level, and past the top horizon.
+	horizons := []time.Duration{
+		1 << wheelShift0,                                // same/adjacent slot
+		wheelSlots << wheelShift0,                       // level 0 ring
+		wheelSlots << (wheelShift0 + wheelBits),         // level 1
+		wheelSlots << (wheelShift0 + 2*wheelBits),       // level 2
+		wheelSlots << (wheelShift0 + 3*wheelBits),       // level 3
+		2 * (wheelSlots << (wheelShift0 + 3*wheelBits)), // overflow
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		o := newWheelOracle(t)
+		for step := 0; step < 4000; step++ {
+			switch {
+			case rng.Intn(3) == 0 && o.h.len() > 0:
+				o.pop()
+			default:
+				h := horizons[rng.Intn(len(horizons))]
+				o.push(o.clock + time.Duration(rng.Int63n(int64(h))))
+			}
+		}
+		o.drain()
+	}
+}
+
+// TestWheelSlotEdges pins events to exact slot boundaries of every level,
+// one tick before, and one tick after — the off-by-one surface of filing,
+// draining, and cascading.
+func TestWheelSlotEdges(t *testing.T) {
+	o := newWheelOracle(t)
+	for level := 0; level < wheelLevels; level++ {
+		width := int64(1) << uint(wheelShift0+level*wheelBits)
+		for _, mult := range []int64{1, 2, wheelSlots - 1, wheelSlots, wheelSlots + 1} {
+			base := o.clock + time.Duration(mult*width)
+			o.push(base - 1)
+			o.push(base)
+			o.push(base + 1)
+		}
+		// Consume a few to move the cursor into the middle of a ring.
+		o.pop()
+		o.pop()
+	}
+	o.drain()
+}
+
+// TestWheelSameTimestampSeqOrder checks that a burst of equal-time events
+// pops in push (seq) order even when they land via different levels:
+// some filed directly, some arriving after the cursor has moved (pushCur).
+func TestWheelSameTimestampSeqOrder(t *testing.T) {
+	o := newWheelOracle(t)
+	at := o.clock + 300*time.Microsecond
+	for i := 0; i < 64; i++ {
+		o.push(at)
+	}
+	// Deliver the first few, then push more at the *same* timestamp — the
+	// engine does this constantly (equal-time wakeups during a dispatch).
+	for i := 0; i < 8; i++ {
+		o.pop()
+	}
+	for i := 0; i < 16; i++ {
+		o.push(at)
+	}
+	o.drain()
+}
+
+// TestWheelFarFutureOverflow exercises the overflow heap: events beyond the
+// top level's rolling horizon must wait there and refile — in order — once
+// the wheel empties, including a second generation pushed after the jump.
+func TestWheelFarFutureOverflow(t *testing.T) {
+	o := newWheelOracle(t)
+	topSpan := time.Duration(wheelSlots) << uint(wheelShift0+3*wheelBits)
+	for i := 0; i < 10; i++ {
+		o.push(o.clock + 2*topSpan + time.Duration(i)*time.Millisecond)
+	}
+	o.push(o.clock + 5*topSpan) // beyond even the refiled span
+	o.push(o.clock + time.Millisecond)
+	for o.pop() {
+		if o.pops == 5 {
+			// Mid-drain, after the overflow jump: near events again.
+			o.push(o.clock + 100*time.Microsecond)
+		}
+	}
+	o.drain()
+}
+
+// TestWheelCascadeUnderCursor pushes an event into a higher-level slot,
+// then advances the cursor into that slot's span with nearer events — the
+// cascade-on-entry path (invariant 2) that keeps later same-slot arrivals
+// from overtaking the cascaded ones.
+func TestWheelCascadeUnderCursor(t *testing.T) {
+	o := newWheelOracle(t)
+	l1 := time.Duration(1) << uint(wheelShift0+wheelBits) // level-1 slot width
+	// Far event: lands in a level-1 (or higher) slot.
+	o.push(o.clock + 3*l1 + 17*time.Microsecond)
+	// Near events marching the cursor across level-1 boundaries.
+	for i := 1; i <= 40; i++ {
+		o.push(o.clock + time.Duration(i)*100*time.Microsecond)
+	}
+	for i := 0; i < 20; i++ {
+		o.pop()
+		// New arrivals just ahead of the clock, squeezed between the
+		// cursor and the not-yet-cascaded far event.
+		o.push(o.clock + 50*time.Microsecond)
+	}
+	o.drain()
+}
+
+// TestWheelCoincidentLevelBoundaries pins the stranding bug where the
+// candidate scan jumped the cursor to a winning slot's start and cascaded
+// only that slot: a level-2 slot's start is also a level-1 boundary, so an
+// occupied level-1 slot can share it, and skipping its cascade leaves the
+// cursor inside an occupied slot (invariant 2 broken). Its events are then
+// overtaken by the refiled level-2 ones and delivered late, out of order.
+func TestWheelCoincidentLevelBoundaries(t *testing.T) {
+	o := newWheelOracle(t)
+	l2span := time.Duration(wheelSlots) << uint(wheelShift0+wheelBits)
+	// A: beyond the level-1 ring from slot 0, so it files at level 2 —
+	// into the slot starting exactly at l2span.
+	o.push(l2span + 600*time.Microsecond)
+	// March the cursor past one level-1 boundary so the next push can
+	// reach the l2span boundary from within a level-1 ring.
+	o.push(o.clock + time.Duration(wheelSlots+3)<<wheelShift0)
+	o.pop()
+	// B: earlier than A, inside the same first level-1 block of A's
+	// level-2 slot; files at level 1 into the slot whose start coincides
+	// with that level-2 slot's start. Both must cascade on the jump, or B
+	// is stranded while A drains first.
+	o.push(l2span + 100*time.Microsecond)
+	o.drain()
+}
+
+// TestWheelLen holds len() to the oracle through a mixed workload.
+func TestWheelLen(t *testing.T) {
+	o := newWheelOracle(t)
+	rng := rand.New(rand.NewSource(99))
+	for step := 0; step < 1000; step++ {
+		if rng.Intn(2) == 0 {
+			o.push(o.clock + time.Duration(rng.Int63n(int64(50*time.Millisecond))))
+		} else {
+			o.pop()
+		}
+		if o.w.len() != o.h.len() {
+			t.Fatalf("step %d: wheel len %d, heap len %d", step, o.w.len(), o.h.len())
+		}
+	}
+	o.drain()
+}

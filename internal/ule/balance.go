@@ -30,15 +30,16 @@ func (s *Sched) balance() {
 	for {
 		donor, receiver := -1, -1
 		hi, lo := -1, int(^uint(0)>>1)
-		for id, q := range s.tdqs {
+		for id := range s.tdqs {
 			if used[id] {
 				continue
 			}
-			if q.load > hi {
-				hi, donor = q.load, id
+			load := s.tdqs[id].load
+			if load > hi {
+				hi, donor = load, id
 			}
-			if q.load < lo {
-				lo, receiver = q.load, id
+			if load < lo {
+				lo, receiver = load, id
 			}
 		}
 		if donor < 0 || receiver < 0 || donor == receiver {
@@ -72,7 +73,7 @@ func (s *Sched) moveOne(donor, receiver int) bool {
 // stealableFrom returns the first queued thread on donor that may run on
 // the receiving core (runq_steal's scan order).
 func (s *Sched) stealableFrom(donor, receiver int) *sim.Thread {
-	q := s.tdqs[donor]
+	q := &s.tdqs[donor]
 	var found *sim.Thread
 	take := func(e *runq.Entry) bool {
 		t := e.Payload.(*sim.Thread)

@@ -14,7 +14,7 @@ type Sched struct {
 	P Params
 
 	m    *sim.Machine
-	tdqs []*tdq
+	tdqs []tdq
 
 	// stealThresh caches P.StealThresh (floored at 1); loaded counts the
 	// tdqs whose load reaches it. While loaded is zero the idle-steal scan
@@ -85,9 +85,13 @@ func (s *Sched) NeedsIdleTick() bool { return true }
 // periodic balancer.
 func (s *Sched) Attach(m *sim.Machine) {
 	s.m = m
-	s.tdqs = make([]*tdq, len(m.Cores))
+	// One contiguous block of per-core queue state: the balancer and the
+	// steal scans walk every core's load in sequence, so keeping the tdqs
+	// in one allocation turns those walks into linear scans of adjacent
+	// cache lines instead of pointer chases.
+	s.tdqs = make([]tdq, len(m.Cores))
 	for i, c := range m.Cores {
-		s.tdqs[i] = &tdq{core: c}
+		s.tdqs[i] = tdq{core: c}
 	}
 	s.stealThresh = s.P.StealThresh
 	if s.stealThresh < 1 {
@@ -183,7 +187,7 @@ func (s *Sched) Interactive(t *sim.Thread) bool {
 
 // Enqueue implements sim.Scheduler (sched_add / sched_wakeup → tdq_runq_add).
 func (s *Sched) Enqueue(c *sim.Core, t *sim.Thread, flags int) {
-	q := s.tdqs[c.ID]
+	q := &s.tdqs[c.ID]
 	d := s.td(t)
 	if flags&sim.FlagWakeup != 0 {
 		s.syncAccounting(t, d)
@@ -236,7 +240,7 @@ func (s *Sched) batchQueuePri(d *tsd) int {
 
 // Dequeue implements sim.Scheduler (sched_rem).
 func (s *Sched) Dequeue(c *sim.Core, t *sim.Thread, flags int) {
-	q := s.tdqs[c.ID]
+	q := &s.tdqs[c.ID]
 	d := s.td(t)
 	if c.Curr == t {
 		// Running threads are not in the queues (ULE removes them, §3).
@@ -268,7 +272,7 @@ func (s *Sched) removeEntry(q *tdq, d *tsd) {
 // queue first — giving interactive threads absolute priority — then the
 // batch calendar.
 func (s *Sched) PickNext(c *sim.Core) *sim.Thread {
-	q := s.tdqs[c.ID]
+	q := &s.tdqs[c.ID]
 	var e *runq.Entry
 	if e = q.realtime.Choose(); e == nil {
 		e = q.timeshare.Choose()
@@ -305,7 +309,7 @@ func (s *Sched) sliceFor(q *tdq) int {
 // PutPrev implements sim.Scheduler (sched_switch for a still-runnable
 // thread): back into the queues, at the head when preempted.
 func (s *Sched) PutPrev(c *sim.Core, t *sim.Thread, flags int) {
-	q := s.tdqs[c.ID]
+	q := &s.tdqs[c.ID]
 	d := s.td(t)
 	s.syncAccounting(t, d)
 	s.updatePriority(t, d)
@@ -349,7 +353,7 @@ func (s *Sched) CheckPreempt(c *sim.Core, t *sim.Thread, flags int) bool {
 // Tick implements sim.Scheduler (sched_clock): rotate the calendar, account
 // the running thread, recompute its priority, and expire its slice.
 func (s *Sched) Tick(c *sim.Core, curr *sim.Thread) {
-	q := s.tdqs[c.ID]
+	q := &s.tdqs[c.ID]
 	q.ticks++
 	q.timeshare.Advance()
 	if curr == nil {
@@ -403,7 +407,7 @@ func (s *Sched) bestQueuedPri(q *tdq) int {
 // lowestPri is the best (numerically lowest) priority present on a core,
 // PriIdle when idle — tdq_lowpri, the value pickcpu's searches compare.
 func (s *Sched) lowestPri(id int) int {
-	q := s.tdqs[id]
+	q := &s.tdqs[id]
 	best := PriIdle
 	if q.core.Curr != nil {
 		best = s.td(q.core.Curr).pri
