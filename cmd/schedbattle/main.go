@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -46,6 +47,8 @@ func main() {
 		seriesDir  = flag.String("series", "", "with -run/-all: directory for gnuplot series files; with -scenario: path for the probe-series CSV export")
 		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "trial-grid worker pool width")
 		seed       = flag.Int64("seed", 0, "base-seed perturbation for every trial (0 = the paper-tuned seeds)")
+		engine     = flag.String("engine", "wheel", "event queue engine, \"wheel\" or \"heap\" (outputs must be byte-identical — the crossval escape hatch)")
+		trialTmo   = flag.Duration("trial-timeout", 0, "per-trial wall-clock watchdog (0 = off): a stuck trial fails itself instead of wedging the grid")
 		out        = flag.String("out", "", "write a structured JSON report to this file (\"-\" = stdout)")
 		scen       = flag.String("scenario", "", "run a scenario: bundled name or path to a .json spec")
 		scenList   = flag.Bool("scenarios", false, "list bundled scenarios and exit")
@@ -105,8 +108,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	switch *engine {
+	case "wheel":
+	case "heap":
+		sim.SetForceEventHeap(true)
+	default:
+		fmt.Fprintf(os.Stderr, "schedbattle: -engine %q: must be \"wheel\" or \"heap\"\n", *engine)
+		os.Exit(2)
+	}
 	runner.SetWorkers(*jobs)
 	core.SetBaseSeed(*seed)
+	core.SetTrialTimeout(*trialTmo)
 
 	if *check {
 		regs, err := runCheck(*baseline, *mdOut)

@@ -5,6 +5,7 @@ package main
 // runs it on the worker pool, and writes the structured JSON report.
 
 import (
+	"errors"
 	"fmt"
 	"os"
 
@@ -42,11 +43,22 @@ func runScenario(nameOrPath string, scale float64, outPath, seriesPath string) e
 		return err
 	}
 	rep, err := sp.Run(scale)
+	var fails *scenario.TrialFailures
 	if err != nil {
-		return err
+		// Partial failure still produced a full report (failed cells carry
+		// Error): write it, dump diagnostics, and exit non-zero at the end.
+		// Anything else is fatal.
+		if !errors.As(err, &fails) {
+			return err
+		}
 	}
 	for _, tr := range rep.Trials {
 		line := fmt.Sprintf("%-36s events=%d", tr.Name, tr.Events)
+		if tr.Error != "" {
+			line += "  FAILED: " + tr.Error
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
 		if tr.Throughput != nil {
 			line += fmt.Sprintf("  ops=%d (%.4g/s)", tr.Throughput.TotalOps, tr.Throughput.OpsPerSec)
 		}
@@ -55,6 +67,9 @@ func runScenario(nameOrPath string, scale float64, outPath, seriesPath string) e
 		}
 		if v, ok := tr.Derived[scenario.MetricConvergenceUS]; ok {
 			line += fmt.Sprintf("  conv=%.4gus", v)
+		}
+		if v, ok := tr.Derived[scenario.MetricRecoveryUS]; ok {
+			line += fmt.Sprintf("  recov=%.4gus", v)
 		}
 		fmt.Fprintln(os.Stderr, line)
 	}
@@ -69,6 +84,14 @@ func runScenario(nameOrPath string, scale float64, outPath, seriesPath string) e
 			return fmt.Errorf("writing series CSV: %w", err)
 		}
 		fmt.Fprintf(os.Stderr, "schedbattle: wrote %s\n", seriesPath)
+	}
+	if fails != nil {
+		// Stacks go to stderr only — they carry host addresses and must
+		// never enter the (byte-compared) report.
+		for _, te := range fails.Errs {
+			fmt.Fprintf(os.Stderr, "schedbattle: %v\n%s\n", te, te.Stack)
+		}
+		return fmt.Errorf("%d of %d trials failed", len(fails.Errs), fails.Total)
 	}
 	return nil
 }

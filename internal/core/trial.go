@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -46,6 +47,9 @@ type Trial[T any] struct {
 // must already be resolved; RunTrials does that for grid runs.
 func (t Trial[T]) Execute() T {
 	m := NewMachine(t.Machine)
+	if d := TrialTimeout(); d > 0 {
+		m.SetWallDeadline(time.Now().Add(d))
+	}
 	if t.Workload != nil {
 		t.Workload(m)
 	}
@@ -97,11 +101,61 @@ func trialSeed(explicit int64, name string, occ int) int64 {
 	return runner.DeriveSeed(base^explicit, name, occ)
 }
 
+// trialTimeout holds the per-trial wall-clock watchdog in nanoseconds;
+// see SetTrialTimeout.
+var trialTimeout atomic.Int64
+
+// SetTrialTimeout arms a per-trial wall-clock watchdog (the CLI's
+// -trial-timeout flag): every subsequently executed trial panics with
+// *sim.WallDeadlineError once it has run that long on the host clock —
+// which RunTrialsErr recovers into a per-trial error — instead of
+// wedging the whole grid. Zero, the default, disables the watchdog.
+func SetTrialTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	trialTimeout.Store(int64(d))
+}
+
+// TrialTimeout returns the armed per-trial watchdog (0 = disabled).
+func TrialTimeout() time.Duration { return time.Duration(trialTimeout.Load()) }
+
+// TrialError describes one failed trial of a grid: the trial's identity,
+// the recovered panic value, and the stack captured at the panic site.
+// Error renders the value only — stacks contain host-nondeterministic
+// goroutine IDs and addresses, so anything destined for byte-compared
+// reports must use Error, keeping Stack for stderr diagnostics.
+type TrialError struct {
+	Index int
+	Name  string
+	Value any
+	Stack []byte
+}
+
+func (e *TrialError) Error() string {
+	return fmt.Sprintf("trial %q failed: %v", e.Name, e.Value)
+}
+
 // RunTrials executes a trial grid on the shared worker pool (runner.Workers
 // wide; the CLI's -jobs flag) and returns the outcomes in trial order.
 // Every trial owns a private deterministic machine, so results are
-// byte-identical whatever the pool width.
+// byte-identical whatever the pool width. A panicking trial still aborts
+// the caller (after the rest of the grid completes); grids that must
+// survive individual failures use RunTrialsErr.
 func RunTrials[T any](trials []Trial[T]) []T {
+	out, errs := RunTrialsErr(trials)
+	if len(errs) > 0 {
+		panic(errs[0])
+	}
+	return out
+}
+
+// RunTrialsErr is RunTrials with per-trial failure isolation: a trial
+// that panics (a scheduler invariant, a stuck program, the wall-clock
+// watchdog) fails only its own slot, the rest of the grid completes, and
+// the failures come back in trial order. out keeps the zero value at
+// failed indices.
+func RunTrialsErr[T any](trials []Trial[T]) ([]T, []*TrialError) {
 	// Seeds key on the trial name; on the derived path (no explicit seed,
 	// or a non-zero base seed) same-named trials in one grid fall back to
 	// their occurrence number so they still draw distinct seeds.
@@ -111,9 +165,14 @@ func RunTrials[T any](trials []Trial[T]) []T {
 		occIdx[i] = occ[t.Name]
 		occ[t.Name]++
 	}
-	return runner.Map(len(trials), func(i int) T {
+	out, panics := runner.MapErr(len(trials), func(i int) T {
 		t := trials[i]
 		t.Machine.Seed = trialSeed(t.Machine.Seed, t.Name, occIdx[i])
 		return t.Execute()
 	})
+	errs := make([]*TrialError, len(panics))
+	for i, p := range panics {
+		errs[i] = &TrialError{Index: p.Index, Name: trials[p.Index].Name, Value: p.Value, Stack: p.Stack}
+	}
+	return out, errs
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -79,5 +80,99 @@ func TestCoSchedCacheRespectsBaseSeed(t *testing.T) {
 	c := coSched(ULE, 0.1)
 	if a != c {
 		t.Fatal("restoring base seed 0 should hit the original cache entry")
+	}
+}
+
+// spinner runs fixed CPU bursts forever — trial-harness test fuel.
+type spinner struct{ burst time.Duration }
+
+func (s *spinner) Next(ctx *sim.Ctx) sim.Op { return sim.Run(s.burst) }
+
+// TestRunTrialsErrIsolation: one panicking trial in a grid fails only its
+// own slot; the rest of the grid completes with real results.
+func TestRunTrialsErrIsolation(t *testing.T) {
+	mkTrial := func(name string, boom bool) Trial[uint64] {
+		return Trial[uint64]{
+			Name:    name,
+			Machine: MachineConfig{Cores: 1, Kind: "fifo", Seed: 7},
+			Window:  10 * time.Millisecond,
+			Workload: func(m *sim.Machine) {
+				m.StartThread("w", "app", 0, &spinner{burst: time.Millisecond})
+				if boom {
+					m.At(2*time.Millisecond, func() { panic("deliberate trial failure") })
+				}
+			},
+			Extract: func(m *sim.Machine) uint64 { return m.EventsProcessed() },
+		}
+	}
+	trials := []Trial[uint64]{
+		mkTrial("good/0", false), mkTrial("bad/1", true),
+		mkTrial("good/2", false), mkTrial("good/3", false),
+	}
+	out, errs := RunTrialsErr(trials)
+	if len(errs) != 1 {
+		t.Fatalf("errs = %+v, want exactly one", errs)
+	}
+	te := errs[0]
+	if te.Index != 1 || te.Name != "bad/1" {
+		t.Fatalf("failure attributed to %d %q, want 1 bad/1", te.Index, te.Name)
+	}
+	if te.Value != "deliberate trial failure" {
+		t.Fatalf("panic value %v", te.Value)
+	}
+	if len(te.Stack) == 0 {
+		t.Fatal("stack not captured")
+	}
+	if got, want := te.Error(), `trial "bad/1" failed: deliberate trial failure`; got != want {
+		t.Fatalf("Error() = %q, want %q (no stack — it enters byte-compared reports)", got, want)
+	}
+	if out[1] != 0 {
+		t.Fatalf("failed slot holds %d, want zero value", out[1])
+	}
+	for _, i := range []int{0, 2, 3} {
+		if out[i] == 0 {
+			t.Fatalf("healthy trial %d produced no events", i)
+		}
+	}
+
+	// RunTrials (the fail-fast wrapper) panics with the same *TrialError.
+	defer func() {
+		r := recover()
+		p, ok := r.(*TrialError)
+		if !ok || p.Name != "bad/1" {
+			t.Fatalf("RunTrials panic = %v, want *TrialError for bad/1", r)
+		}
+	}()
+	RunTrials(trials)
+}
+
+// TestTrialTimeoutWatchdog: an armed per-trial deadline turns a wedged
+// trial into a per-trial error instead of hanging the grid.
+func TestTrialTimeoutWatchdog(t *testing.T) {
+	defer SetTrialTimeout(0)
+	SetTrialTimeout(50 * time.Millisecond)
+	trials := []Trial[uint64]{{
+		Name:    "stuck",
+		Machine: MachineConfig{Cores: 1, Kind: "fifo", Seed: 3},
+		// An hour of 5µs bursts: far beyond the wall budget.
+		Window: time.Hour,
+		Workload: func(m *sim.Machine) {
+			m.StartThread("spin", "app", 0, &spinner{burst: 5 * time.Microsecond})
+		},
+		Extract: func(m *sim.Machine) uint64 { return m.EventsProcessed() },
+	}}
+	_, errs := RunTrialsErr(trials)
+	if len(errs) != 1 {
+		t.Fatalf("errs = %+v, want the watchdog failure", errs)
+	}
+	if _, ok := errs[0].Value.(*sim.WallDeadlineError); !ok {
+		t.Fatalf("panic value %T (%v), want *sim.WallDeadlineError", errs[0].Value, errs[0].Value)
+	}
+	// Disarmed, the same trial runs normally (tiny window this time).
+	SetTrialTimeout(0)
+	trials[0].Window = 5 * time.Millisecond
+	out, errs := RunTrialsErr(trials)
+	if len(errs) != 0 || out[0] == 0 {
+		t.Fatalf("disarmed run failed: out=%v errs=%+v", out, errs)
 	}
 }

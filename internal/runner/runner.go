@@ -76,9 +76,25 @@ func (p *TrialPanic) Error() string {
 // caller with the lowest-index panic, so failure reporting is deterministic
 // too.
 func MapN[T any](n, workers int, fn func(i int) T) []T {
+	out, panics := MapNErr(n, workers, fn)
+	rethrow(panics)
+	return out
+}
+
+// MapErr is Map with failures surfaced as values instead of a re-panic:
+// every job runs regardless of other jobs' outcomes, and recovered
+// panics come back sorted by job index. out[i] holds the zero value for
+// failed jobs. This is the harness-hardening entry point: one bad trial
+// in a 500-trial grid fails only its own slot.
+func MapErr[T any](n int, fn func(i int) T) ([]T, []*TrialPanic) {
+	return MapNErr(n, Workers(), fn)
+}
+
+// MapNErr is MapErr with an explicit worker count.
+func MapNErr[T any](n, workers int, fn func(i int) T) ([]T, []*TrialPanic) {
 	out := make([]T, n)
 	if n == 0 {
-		return out
+		return out, nil
 	}
 	if workers < 1 {
 		workers = 1
@@ -86,39 +102,38 @@ func MapN[T any](n, workers int, fn func(i int) T) []T {
 	if workers > n {
 		workers = n
 	}
+	var panics []*TrialPanic
 	if workers == 1 {
 		// Fast path: no goroutines, no synchronisation — the sequential
 		// baseline that parallel runs must reproduce byte-for-byte.
-		var panics []*TrialPanic
 		for i := range out {
 			runOne(i, fn, out, &panics, nil)
 		}
-		rethrow(panics)
-		return out
-	}
-
-	var (
-		next   atomic.Int64
-		wg     sync.WaitGroup
-		mu     sync.Mutex
-		panics []*TrialPanic
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+	} else {
+		var (
+			next atomic.Int64
+			wg   sync.WaitGroup
+			mu   sync.Mutex
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					runOne(i, fn, out, &panics, &mu)
 				}
-				runOne(i, fn, out, &panics, &mu)
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
-	rethrow(panics)
-	return out
+	// Index order, so failure reporting is independent of pool width and
+	// goroutine interleaving.
+	sort.Slice(panics, func(a, b int) bool { return panics[a].Index < panics[b].Index })
+	return out, panics
 }
 
 // runOne executes job i, recovering a panic into panics (under mu when
@@ -138,12 +153,12 @@ func runOne[T any](i int, fn func(i int) T, out []T, panics *[]*TrialPanic, mu *
 	out[i] = fn(i)
 }
 
-// rethrow re-raises the lowest-index recorded panic, if any.
+// rethrow re-raises the lowest-index recorded panic, if any (the slice
+// is already in index order).
 func rethrow(panics []*TrialPanic) {
 	if len(panics) == 0 {
 		return
 	}
-	sort.Slice(panics, func(a, b int) bool { return panics[a].Index < panics[b].Index })
 	panic(panics[0])
 }
 

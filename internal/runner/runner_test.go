@@ -127,3 +127,48 @@ func TestDeriveSeed(t *testing.T) {
 		}
 	}
 }
+
+func TestMapNErrIsolation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		out, panics := MapNErr(10, workers, func(i int) int {
+			if i == 2 || i == 6 {
+				panic(i * 100)
+			}
+			return i * i
+		})
+		// Healthy jobs all completed; failed slots hold the zero value.
+		for i, v := range out {
+			want := i * i
+			if i == 2 || i == 6 {
+				want = 0
+			}
+			if v != want {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, want)
+			}
+		}
+		// Panics come back sorted by index, regardless of completion order.
+		if len(panics) != 2 || panics[0].Index != 2 || panics[1].Index != 6 {
+			t.Fatalf("workers=%d: panics = %+v, want indices [2 6]", workers, panics)
+		}
+		if panics[0].Value != 200 || panics[1].Value != 600 {
+			t.Fatalf("workers=%d: panic values %v, %v", workers, panics[0].Value, panics[1].Value)
+		}
+		for _, p := range panics {
+			if len(p.Stack) == 0 {
+				t.Fatalf("workers=%d: trial %d panic lost its stack", workers, p.Index)
+			}
+		}
+	}
+}
+
+func TestMapErrNoFailures(t *testing.T) {
+	out, panics := MapErr(5, func(i int) int { return i + 1 })
+	if len(panics) != 0 {
+		t.Fatalf("unexpected panics: %+v", panics)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

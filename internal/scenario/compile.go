@@ -2,11 +2,13 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/ipc"
 	"repro/internal/probe"
 	"repro/internal/runner"
@@ -57,12 +59,41 @@ func (s *Spec) Compile(cliScale float64) ([]core.Trial[TrialReport], error) {
 
 // Run compiles the spec, executes the grid on the shared runner pool, and
 // assembles the report. Results are byte-identical at any pool width.
+// A panicking trial (scheduler invariant, wall-clock watchdog) fails only
+// its own cell: its report slot carries the panic message in Error, the
+// rest of the grid completes, and Run returns the report TOGETHER with a
+// *TrialFailures error — callers that can tolerate partial results keep
+// the report; strict callers (battle verdicts) treat the error as fatal.
 func (s *Spec) Run(cliScale float64) (*Report, error) {
 	trials, err := s.Compile(cliScale)
 	if err != nil {
 		return nil, err
 	}
-	return s.report(cliScale, core.RunTrials(trials)), nil
+	out, errs := core.RunTrialsErr(trials)
+	for _, te := range errs {
+		// Skeleton report for the failed cell. Only the panic value is
+		// rendered — stacks carry host-nondeterministic addresses and must
+		// never enter byte-compared reports.
+		out[te.Index] = TrialReport{Name: te.Name, Error: fmt.Sprintf("%v", te.Value)}
+	}
+	rep := s.report(cliScale, out)
+	if len(errs) > 0 {
+		return rep, &TrialFailures{Total: len(trials), Errs: errs}
+	}
+	return rep, nil
+}
+
+// TrialFailures aggregates the failed cells of a partially-successful
+// scenario run. The accompanying report is still complete (failed cells
+// carry Error); Errs keep the full TrialError values, stacks included,
+// for stderr diagnostics.
+type TrialFailures struct {
+	Total int
+	Errs  []*core.TrialError
+}
+
+func (f *TrialFailures) Error() string {
+	return fmt.Sprintf("%d of %d trials failed; first: %v", len(f.Errs), f.Total, f.Errs[0])
 }
 
 // windowFor scales the measurement window, flooring it so every entry still
@@ -120,6 +151,46 @@ func (ss *SeriesSpec) seriesCadence(scale float64) time.Duration {
 	return cad
 }
 
+// faultPlan rescales the spec's fault block into absolute event times for
+// one trial window. Times keep their position relative to the window
+// (ratio = window / spec window), so the perturbation→recovery structure
+// survives the window floor and aggressive CLI -scale values; bursts are
+// work granularity — like workload bursts — and stay unscaled. nil when
+// the spec has no faults.
+func (s *Spec) faultPlan(window time.Duration) *fault.Plan {
+	if len(s.Faults) == 0 {
+		return nil
+	}
+	ratio := float64(window) / float64(s.Window.D())
+	scaled := func(d Dur) time.Duration {
+		if d.D() <= 0 {
+			return 0
+		}
+		v := time.Duration(float64(d.D()) * ratio)
+		if v < 1 {
+			v = 1 // spec'd positive: never collapse to "unset"
+		}
+		return v
+	}
+	plan := &fault.Plan{Events: make([]fault.Event, 0, len(s.Faults))}
+	for i := range s.Faults {
+		f := &s.Faults[i]
+		plan.Events = append(plan.Events, fault.Event{
+			Kind:     fault.Kind(f.Kind),
+			At:       scaled(f.At),
+			Duration: scaled(f.Duration),
+			Cores:    pinnedCopy(f.Cores),
+			Factor:   f.Factor,
+			Threads:  f.Threads,
+			Burst:    f.Burst.D(),
+			Period:   scaled(f.Period),
+			Count:    f.Count,
+			Nice:     f.Nice,
+		})
+	}
+	return plan
+}
+
 // buildTrial assembles the trial for one sweep cell.
 func (s *Spec) buildTrial(cores int, rs resolvedSched, scale float64, seed int64) core.Trial[TrialReport] {
 	window := s.windowFor(scale)
@@ -127,6 +198,12 @@ func (s *Spec) buildTrial(cores int, rs resolvedSched, scale float64, seed int64
 		s.Name, cores, rs.kind, strconv.FormatFloat(scale, 'g', -1, 64), seed)
 	states := make([]*entryState, len(s.Workload))
 	var att *probe.Attachment
+	plan := s.faultPlan(window)
+	var occs []fault.Occurrence
+	if plan != nil {
+		occs = plan.Occurrences(window)
+	}
+	deg := &degradedState{}
 	return core.Trial[TrialReport]{
 		Name: name,
 		Machine: core.MachineConfig{
@@ -151,14 +228,116 @@ func (s *Spec) buildTrial(cores int, rs resolvedSched, scale float64, seed int64
 					Capacity: capacity,
 				})
 			}
+			if plan != nil {
+				// Faults install last: a probe sample landing exactly on a
+				// fault instant deterministically sees the pre-fault state.
+				fault.Install(m, plan)
+				deg.arm(m, states, occs, window)
+			}
 		},
 		Extract: func(m *sim.Machine) TrialReport {
-			return s.extract(m, states, att, cell{
+			return s.extract(m, states, att, trialFaults{occs: occs, deg: deg}, cell{
 				name:  name,
 				cores: cores, kind: rs.kind, scale: scale, seed: seed, window: window,
 			})
 		},
 	}
+}
+
+// trialFaults bundles a trial's fault bookkeeping into extraction.
+type trialFaults struct {
+	occs []fault.Occurrence
+	deg  *degradedState
+}
+
+// degradedState measures throughput inside the union of active fault
+// intervals: ops snapshots at every merged interval boundary, taken by
+// timer events on the machine's own queue, so the measurement is exactly
+// as deterministic as the run.
+type degradedState struct {
+	startOps uint64
+	ops      uint64
+	seconds  float64
+	// openFrom is the start of an interval still active at the window
+	// edge (< 0 when none): Extract closes it, since a timer event at
+	// exactly the window end is not guaranteed to fire.
+	openFrom time.Duration
+	states   []*entryState
+}
+
+// totalOps sums completed ops across all workload entries at this instant.
+func totalOps(states []*entryState) uint64 {
+	var n uint64
+	for _, st := range states {
+		if st.insts != nil {
+			for _, in := range st.insts {
+				n += in.Ops()
+			}
+		} else {
+			n += st.ops
+		}
+	}
+	return n
+}
+
+// mergedIntervals flattens occurrences into sorted, non-overlapping
+// [start, end) intervals, dropping instantaneous ones (storms).
+func mergedIntervals(occs []fault.Occurrence, window time.Duration) [][2]time.Duration {
+	var iv [][2]time.Duration
+	for _, o := range occs {
+		if o.End > o.At {
+			end := o.End
+			if end > window {
+				end = window
+			}
+			iv = append(iv, [2]time.Duration{o.At, end})
+		}
+	}
+	sort.Slice(iv, func(a, b int) bool { return iv[a][0] < iv[b][0] })
+	var out [][2]time.Duration
+	for _, in := range iv {
+		if len(out) > 0 && in[0] <= out[len(out)-1][1] {
+			if in[1] > out[len(out)-1][1] {
+				out[len(out)-1][1] = in[1]
+			}
+			continue
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// arm schedules the boundary snapshots for every merged degraded interval.
+func (d *degradedState) arm(m *sim.Machine, states []*entryState, occs []fault.Occurrence, window time.Duration) {
+	d.states = states
+	d.openFrom = -1
+	for _, in := range mergedIntervals(occs, window) {
+		start, end := in[0], in[1]
+		m.At(start, func() { d.startOps = totalOps(d.states) })
+		if end < window {
+			m.At(end, func() {
+				d.ops += totalOps(d.states) - d.startOps
+				d.seconds += (end - start).Seconds()
+			})
+		} else {
+			d.openFrom = start
+		}
+	}
+}
+
+// close finishes an interval still open at the window edge and returns
+// the degraded throughput (ops completed per degraded second); false when
+// no degraded time was accumulated (e.g. storm-only plans).
+func (d *degradedState) close(window time.Duration) (float64, bool) {
+	if d.openFrom >= 0 {
+		d.ops += totalOps(d.states) - d.startOps
+		d.seconds += (window - d.openFrom).Seconds()
+		d.openFrom = -1
+	}
+	if d.seconds <= 0 {
+		return 0, false
+	}
+	return float64(d.ops) / d.seconds, true
 }
 
 // install builds workload entry ei on m and returns its measurement state.
@@ -288,7 +467,7 @@ type cell struct {
 // spec's metric selection. Everything read here is deterministic state of
 // the (single-threaded, seeded) simulation, so reports are byte-identical
 // however the surrounding grid was scheduled.
-func (s *Spec) extract(m *sim.Machine, states []*entryState, att *probe.Attachment, c cell) TrialReport {
+func (s *Spec) extract(m *sim.Machine, states []*entryState, att *probe.Attachment, tf trialFaults, c cell) TrialReport {
 	rep := TrialReport{
 		Name:      c.name,
 		Cores:     c.cores,
@@ -362,7 +541,24 @@ func (s *Spec) extract(m *sim.Machine, states []*entryState, att *probe.Attachme
 		set.Each(func(sr *probe.Series) {
 			rep.Series = append(rep.Series, seriesReport(sr))
 		})
-		rep.Derived = deriveSeriesMetrics(set, c.window)
+		rep.Derived = deriveSeriesMetrics(set, c.window, tf.occs)
+	}
+	if len(tf.occs) > 0 {
+		// Echo the resolved activations — Occurrences is a pure function
+		// of (plan, window), so every derived recovery metric is auditable
+		// from the report alone.
+		us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+		for _, o := range tf.occs {
+			rep.Faults = append(rep.Faults, FaultReport{
+				Kind: string(o.Kind), AtUS: us(o.At), EndUS: us(o.End), Cores: o.Cores,
+			})
+		}
+		if v, ok := tf.deg.close(c.window); ok {
+			if rep.Derived == nil {
+				rep.Derived = map[string]float64{}
+			}
+			rep.Derived[MetricDegradedOpsPerSec] = v
+		}
 	}
 	return rep
 }

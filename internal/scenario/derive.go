@@ -3,17 +3,20 @@ package scenario
 // Derived scalar metrics over a trial's recorded time series: the
 // transient-behaviour numbers the paper reads off its Figure 6/7 curves,
 // reduced to battle-comparable scalars. They are pure functions of the
-// embedded series, so a report consumer can recompute (audit) them from
-// the report alone.
+// embedded series (plus the report's echoed fault activations), so a
+// report consumer can recompute (audit) them from the report alone.
 
 import (
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/probe"
 )
 
-// Derived metric names. Both require the "runq" probe.
+// Derived metric names. The first three require the "runq" probe.
 const (
 	// MetricConvergenceUS is the time (µs) of the first sample from
 	// which the per-core runnable depth spread (max−min) stays ≤ 1 for
@@ -30,24 +33,62 @@ const (
 	// runnable depth reaches 95% of its peak — Figure 7's startup
 	// transient ("how long until the machine is loaded").
 	MetricStartupP95US = "startup_p95_us"
+	// MetricRecoveryUS is the mean time (µs) from each fault edge —
+	// activation and deactivation both perturb placement — until the
+	// runnable-depth spread re-converges (sustained ≤ 1) within that
+	// edge's segment of the run. Still-imbalanced segments are censored
+	// at the segment end, so the metric always exists when faults and
+	// runq samples do; an edge the machine shrugs off reads as 0.
+	MetricRecoveryUS = "recovery_us"
+	// MetricDegradedOpsPerSec is throughput measured inside the union
+	// of active fault intervals only — what the machine still delivers
+	// while degraded. Absent for storm-only plans (no degraded time).
+	MetricDegradedOpsPerSec = "degraded_ops_per_sec"
 )
 
-// derivedMetrics lists the derived metric defs in stable namespace order;
-// both are time-until metrics, so lower wins.
+// derivedMetrics lists the derived metric defs in stable namespace order.
 var derivedMetrics = []MetricDef{
 	{Name: MetricConvergenceUS, Better: Lower},
 	{Name: MetricStartupP95US, Better: Lower},
+	{Name: MetricRecoveryUS, Better: Lower},
+	{Name: MetricDegradedOpsPerSec, Better: Higher},
+}
+
+// offlineAt reports whether core is inside any cpu_off activation at t.
+// Offline cores sample a runnable depth of 0 (they are drained), so the
+// spread computations exclude them for the offline interval — otherwise
+// any loaded machine would read as imbalanced for the whole outage.
+func offlineAt(occs []fault.Occurrence, core int, t time.Duration) bool {
+	for _, o := range occs {
+		if o.Kind != fault.CPUOff || t < o.At || t >= o.End {
+			continue
+		}
+		for _, c := range o.Cores {
+			if c == core {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // deriveSeriesMetrics computes the derived metrics available from the
 // recorded set; nil when none apply (no runq probe attached, or it never
 // sampled). Values are computed from the retained (possibly downsampled)
 // points, so they are exactly reproducible from the embedded series.
-func deriveSeriesMetrics(set *probe.Set, window time.Duration) map[string]float64 {
-	var cores []*probe.Series
+func deriveSeriesMetrics(set *probe.Set, window time.Duration, occs []fault.Occurrence) map[string]float64 {
+	type coreSeries struct {
+		id int
+		s  *probe.Series
+	}
+	var cores []coreSeries
 	for _, name := range set.Names() {
-		if strings.HasPrefix(name, "runq.core") {
-			cores = append(cores, set.Get(name))
+		if id, ok := strings.CutPrefix(name, "runq.core"); ok {
+			n, err := strconv.Atoi(id)
+			if err != nil {
+				continue
+			}
+			cores = append(cores, coreSeries{id: n, s: set.Get(name)})
 		}
 	}
 	if len(cores) == 0 {
@@ -56,10 +97,10 @@ func deriveSeriesMetrics(set *probe.Set, window time.Duration) map[string]float6
 	// All runq series are offered in the same sample cycles with the same
 	// capacity, so they thin identically; the min length guards the
 	// invariant anyway.
-	n := cores[0].Len()
+	n := cores[0].s.Len()
 	for _, s := range cores {
-		if s.Len() < n {
-			n = s.Len()
+		if s.s.Len() < n {
+			n = s.s.Len()
 		}
 	}
 	if n == 0 {
@@ -70,21 +111,30 @@ func deriveSeriesMetrics(set *probe.Set, window time.Duration) map[string]float6
 	out := map[string]float64{}
 
 	peak := 0.0
+	ts := make([]time.Duration, n)
+	spreads := make([]float64, n)
 	totals := make([]float64, n)
 	lastImbalanced := -1
 	for j := 0; j < n; j++ {
-		lo, hi, total := cores[0].Points()[j].V, cores[0].Points()[j].V, 0.0
-		for _, s := range cores {
-			v := s.Points()[j].V
-			if v < lo {
+		t := cores[0].s.Points()[j].T
+		ts[j] = t
+		lo, hi, total, online := 0.0, 0.0, 0.0, 0
+		for _, cs := range cores {
+			v := cs.s.Points()[j].V
+			total += v
+			if len(occs) > 0 && offlineAt(occs, cs.id, t) {
+				continue
+			}
+			if online == 0 || v < lo {
 				lo = v
 			}
-			if v > hi {
+			if online == 0 || v > hi {
 				hi = v
 			}
-			total += v
+			online++
 		}
-		if hi-lo > 1 {
+		spreads[j] = hi - lo
+		if spreads[j] > 1 {
 			lastImbalanced = j
 		}
 		totals[j] = total
@@ -99,18 +149,91 @@ func deriveSeriesMetrics(set *probe.Set, window time.Duration) map[string]float6
 	case lastImbalanced >= 0:
 		// Sustained convergence starts at the sample after the last
 		// imbalanced one.
-		out[MetricConvergenceUS] = us(cores[0].Points()[lastImbalanced+1].T)
+		out[MetricConvergenceUS] = us(ts[lastImbalanced+1])
 	default:
 		// Never imbalanced: converged from the first sample on.
-		out[MetricConvergenceUS] = us(cores[0].Points()[0].T)
+		out[MetricConvergenceUS] = us(ts[0])
 	}
 	if peak > 0 {
 		for j := 0; j < n; j++ {
 			if totals[j] >= 0.95*peak {
-				out[MetricStartupP95US] = us(cores[0].Points()[j].T)
+				out[MetricStartupP95US] = us(ts[j])
 				break
 			}
 		}
 	}
+	if len(occs) > 0 {
+		if v, ok := recoveryUS(ts, spreads, occs, window); ok {
+			out[MetricRecoveryUS] = v
+		}
+	}
 	return out
+}
+
+// recoveryUS measures re-convergence after each fault edge. The run is
+// cut into segments at every perturbation instant (each activation and
+// each in-window deactivation); within a segment the recovery time is
+// the sustained-convergence point relative to the segment start — the
+// same last-imbalanced-sample reading convergence_us uses, scoped to the
+// segment. Segments without samples are skipped; false when none were
+// measurable.
+func recoveryUS(ts []time.Duration, spreads []float64, occs []fault.Occurrence, window time.Duration) (float64, bool) {
+	var instants []time.Duration
+	seen := map[time.Duration]bool{}
+	add := func(t time.Duration) {
+		if t < window && !seen[t] {
+			seen[t] = true
+			instants = append(instants, t)
+		}
+	}
+	for _, o := range occs {
+		add(o.At)
+		if o.End > o.At {
+			add(o.End)
+		}
+	}
+	sort.Slice(instants, func(a, b int) bool { return instants[a] < instants[b] })
+
+	var sumUS float64
+	measured := 0
+	for i, p := range instants {
+		segEnd := window
+		if i+1 < len(instants) {
+			segEnd = instants[i+1]
+		}
+		first, last, lastImb := -1, -1, -1
+		for j := range ts {
+			if ts[j] < p {
+				continue
+			}
+			if ts[j] >= segEnd {
+				break
+			}
+			if first < 0 {
+				first = j
+			}
+			last = j
+			if spreads[j] > 1 {
+				lastImb = j
+			}
+		}
+		if first < 0 {
+			continue // segment shorter than the sampling cadence
+		}
+		var rec time.Duration
+		switch {
+		case lastImb == last:
+			rec = segEnd - p // still imbalanced: censored at segment end
+		case lastImb >= 0:
+			rec = ts[lastImb+1] - p
+		default:
+			rec = 0 // never disturbed past the threshold
+		}
+		sumUS += float64(rec) / float64(time.Microsecond)
+		measured++
+	}
+	if measured == 0 {
+		return 0, false
+	}
+	return sumUS / float64(measured), true
 }

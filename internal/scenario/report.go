@@ -59,6 +59,23 @@ type TrialReport struct {
 	// convergence_us); they join the battle metric namespace. Map
 	// marshalling sorts keys, so reports stay byte-stable.
 	Derived map[string]float64 `json:"derived,omitempty"`
+	// Faults echoes the trial's resolved fault activations (window-scaled,
+	// one per activation) so the recovery metrics are auditable from the
+	// report alone.
+	Faults []FaultReport `json:"faults,omitempty"`
+	// Error is set — and every other section absent — when the trial
+	// panicked: the recovered panic value's message only, never the stack
+	// (stacks carry host-nondeterministic addresses).
+	Error string `json:"error,omitempty"`
+}
+
+// FaultReport is one resolved fault activation: [at_us, end_us) is its
+// active interval (equal for instantaneous storms), clamped to the window.
+type FaultReport struct {
+	Kind  string  `json:"kind"`
+	AtUS  float64 `json:"at_us"`
+	EndUS float64 `json:"end_us"`
+	Cores []int   `json:"cores,omitempty"`
 }
 
 // SeriesReport is one recorded time series: [t_us, value] pairs in time

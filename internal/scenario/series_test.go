@@ -240,7 +240,7 @@ func TestDeriveSeriesMetrics(t *testing.T) {
 
 	// Samples at 1s..4s: spread 4,2,0,0 → converges at 3s; total peaks
 	// at 4 (samples 1s and 3s) → 95% of peak first reached at 1s.
-	d := deriveSeriesMetrics(mkSet([]float64{4, 3, 2, 1}, []float64{0, 1, 2, 1}), 10*time.Second)
+	d := deriveSeriesMetrics(mkSet([]float64{4, 3, 2, 1}, []float64{0, 1, 2, 1}), 10*time.Second, nil)
 	if got := d[MetricConvergenceUS]; got != 3_000_000 {
 		t.Fatalf("convergence_us = %g, want 3e6", got)
 	}
@@ -249,7 +249,7 @@ func TestDeriveSeriesMetrics(t *testing.T) {
 	}
 
 	// Never balanced: censored at the window.
-	d = deriveSeriesMetrics(mkSet([]float64{4, 4}, []float64{0, 0}), 10*time.Second)
+	d = deriveSeriesMetrics(mkSet([]float64{4, 4}, []float64{0, 0}), 10*time.Second, nil)
 	if got := d[MetricConvergenceUS]; got != 10_000_000 {
 		t.Fatalf("censored convergence_us = %g, want window 1e7", got)
 	}
@@ -257,13 +257,13 @@ func TestDeriveSeriesMetrics(t *testing.T) {
 	// Sustained semantics: a transiently balanced sample inside an
 	// imbalanced run does not count — spread 0,4,0 converges at 3s, not
 	// the 1s a first-crossing reading would claim.
-	d = deriveSeriesMetrics(mkSet([]float64{1, 4, 1}, []float64{1, 0, 1}), 10*time.Second)
+	d = deriveSeriesMetrics(mkSet([]float64{1, 4, 1}, []float64{1, 0, 1}), 10*time.Second, nil)
 	if got := d[MetricConvergenceUS]; got != 3_000_000 {
 		t.Fatalf("sustained convergence_us = %g, want 3e6", got)
 	}
 
 	// Never imbalanced: converged from the first sample.
-	d = deriveSeriesMetrics(mkSet([]float64{1, 1}, []float64{1, 1}), 10*time.Second)
+	d = deriveSeriesMetrics(mkSet([]float64{1, 1}, []float64{1, 1}), 10*time.Second, nil)
 	if got := d[MetricConvergenceUS]; got != 1_000_000 {
 		t.Fatalf("always-balanced convergence_us = %g, want first sample 1e6", got)
 	}
@@ -271,7 +271,7 @@ func TestDeriveSeriesMetrics(t *testing.T) {
 	// No runq series at all: nothing derived.
 	other := probe.NewSet(8)
 	other.Sample("live.threads", time.Second, 1)
-	if d := deriveSeriesMetrics(other, time.Second); d != nil {
+	if d := deriveSeriesMetrics(other, time.Second, nil); d != nil {
 		t.Fatalf("derived from non-runq series: %v", d)
 	}
 }

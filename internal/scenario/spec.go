@@ -49,6 +49,12 @@ type Spec struct {
 	// and embeds the recorded time series — plus derived transient
 	// metrics like convergence_us — in the report.
 	Series *SeriesSpec `json:"series,omitempty"`
+	// Faults injects deterministic perturbations (internal/fault) into
+	// every trial: CPU hotplug, throttling, antagonists, wakeup storms.
+	// Times are written at scale 1 and keep their position relative to
+	// the window as it scales. With a runq series attached, the report
+	// gains recovery_us and degraded_ops_per_sec derived metrics.
+	Faults []FaultSpec `json:"faults,omitempty"`
 
 	// resolved is filled by Validate: scheduler entries with "*" expanded
 	// and parameter overrides decoded. Once validated is set the slice is
@@ -120,6 +126,38 @@ type SeriesSpec struct {
 	// Capacity bounds each series' retained points (default 512, max
 	// 65536); on overflow a series halves its resolution deterministically.
 	Capacity int `json:"capacity,omitempty"`
+}
+
+// FaultSpec is one declarative perturbation line (see internal/fault for
+// the mechanisms). All durations are written at scale 1; compilation
+// rescales them with the window so the perturbation→recovery structure
+// survives aggressive CLI -scale values.
+type FaultSpec struct {
+	// Kind is the fault mechanism: "cpu_off", "throttle", "antagonist",
+	// or "wakeup_storm".
+	Kind string `json:"kind"`
+	// At is when the first activation strikes; must fall inside the
+	// window.
+	At Dur `json:"at"`
+	// Duration is each activation's active window; zero means until the
+	// end of the run. Storms are instantaneous and must not set it.
+	Duration Dur `json:"duration,omitempty"`
+	// Cores targets cpu_off (required — and must leave at least one core
+	// online on the smallest swept machine) and throttle (empty = all).
+	Cores []int `json:"cores,omitempty"`
+	// Factor is the throttle speed factor in [0.01, 1].
+	Factor float64 `json:"factor,omitempty"`
+	// Threads is the antagonist / storm-sleeper gang size.
+	Threads int `json:"threads,omitempty"`
+	// Burst is CPU per antagonist iteration / per storm wake. Bursts are
+	// work granularity, like workload bursts, so they do not scale.
+	Burst Dur `json:"burst,omitempty"`
+	// Period separates repeated activations; required iff count > 1.
+	Period Dur `json:"period,omitempty"`
+	// Count is the number of activations (default 1).
+	Count int `json:"count,omitempty"`
+	// Nice is the antagonist/storm threads' niceness.
+	Nice int `json:"nice,omitempty"`
 }
 
 // LoopSpec parameterises an endless compute loop.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/cfs"
@@ -184,7 +185,129 @@ func (s *Spec) Validate() error {
 			return err
 		}
 	}
+
+	if len(s.Faults) > maxFaults {
+		return verr("faults", "%d fault events exceed the limit of %d", len(s.Faults), maxFaults)
+	}
+	for i := range s.Faults {
+		if err := s.Faults[i].validate(fmt.Sprintf("faults[%d]", i), minCores, s.Window.D()); err != nil {
+			return err
+		}
+	}
 	s.validated = true
+	return nil
+}
+
+// maxFaults bounds the fault block; real scenarios use a handful of
+// events, so a large count is a generation bug, not a plan.
+const maxFaults = 64
+
+// faultKinds lists the fault mechanisms, matching internal/fault's Kind
+// constants (kept as strings here so validation owns its own namespace).
+var faultKinds = []string{"cpu_off", "throttle", "antagonist", "wakeup_storm"}
+
+// maxFaultActivations bounds count: repeated activations each schedule
+// timer events up front, so a huge count is a typo.
+const maxFaultActivations = 1024
+
+// validate checks one fault event. minCores bounds core targeting on the
+// smallest swept machine; window is the spec's scale-1 window, inside
+// which the first activation must fall.
+func (f *FaultSpec) validate(pos string, minCores int, window time.Duration) error {
+	known := false
+	for _, k := range faultKinds {
+		if f.Kind == k {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return verr(pos+".kind", "unknown fault kind %q%s (known: %s)",
+			f.Kind, suggest(f.Kind, faultKinds), strings.Join(faultKinds, ", "))
+	}
+	if f.At.D() <= 0 {
+		return verr(pos+".at", "at must be a positive duration")
+	}
+	if f.At.D() >= window {
+		return verr(pos+".at", "at %s is outside the %s window — the fault would never fire", f.At.D(), window)
+	}
+	if f.Duration.D() < 0 {
+		return verr(pos+".duration", "duration must not be negative")
+	}
+	if f.Count < 0 || f.Count > maxFaultActivations {
+		return verr(pos+".count", "count %d out of range [1, %d]", f.Count, maxFaultActivations)
+	}
+	if f.Count > 1 {
+		if f.Period.D() <= 0 {
+			return verr(pos+".period", "period is required when count > 1")
+		}
+		if f.Duration.D() > 0 && f.Period.D() < f.Duration.D() {
+			return verr(pos+".period", "period %s must not be shorter than duration %s — activations would overlap", f.Period.D(), f.Duration.D())
+		}
+	} else if f.Period.D() != 0 {
+		return verr(pos+".period", "period requires count > 1")
+	}
+	if f.Nice < -20 || f.Nice > 19 {
+		return verr(pos+".nice", "nice %d out of range [-20, 19]", f.Nice)
+	}
+
+	// Field applicability per kind, mirroring the style of entry
+	// validation: a set-but-ignored field is a spec mistake.
+	threaded := f.Kind == "antagonist" || f.Kind == "wakeup_storm"
+	if !threaded {
+		if f.Threads != 0 {
+			return verr(pos+".threads", "threads applies to antagonist and wakeup_storm only")
+		}
+		if f.Burst.D() != 0 {
+			return verr(pos+".burst", "burst applies to antagonist and wakeup_storm only")
+		}
+		if f.Nice != 0 {
+			return verr(pos+".nice", "nice applies to antagonist and wakeup_storm only")
+		}
+	}
+	if f.Kind != "throttle" && f.Factor != 0 {
+		return verr(pos+".factor", "factor applies to throttle only")
+	}
+	if threaded && len(f.Cores) > 0 {
+		return verr(pos+".cores", "cores applies to cpu_off and throttle only")
+	}
+
+	switch f.Kind {
+	case "cpu_off", "throttle":
+		if f.Kind == "cpu_off" && len(f.Cores) == 0 {
+			return verr(pos+".cores", "cpu_off requires at least one target core")
+		}
+		seen := map[int]bool{}
+		for i, c := range f.Cores {
+			cpos := fmt.Sprintf("%s.cores[%d]", pos, i)
+			if c < 0 || c >= minCores {
+				return verr(cpos, "core %d out of range [0, %d) on the smallest swept machine", c, minCores)
+			}
+			if seen[c] {
+				return verr(cpos, "core %d listed twice", c)
+			}
+			seen[c] = true
+		}
+		if f.Kind == "cpu_off" && len(f.Cores) >= minCores {
+			return verr(pos+".cores", "offlining %d cores leaves nothing online on the smallest swept machine (%d cores)", len(f.Cores), minCores)
+		}
+		if f.Kind == "throttle" && !(f.Factor >= 0.01 && f.Factor <= 1) {
+			return verr(pos+".factor", "factor %g out of range [0.01, 1]", f.Factor)
+		}
+	case "antagonist", "wakeup_storm":
+		if f.Threads < 1 {
+			return verr(pos+".threads", "threads must be at least 1")
+		}
+		if f.Threads > maxCount {
+			return verr(pos+".threads", "threads %d out of range [1, %d]", f.Threads, maxCount)
+		}
+		if f.Burst.D() <= 0 {
+			return verr(pos+".burst", "burst must be a positive duration")
+		}
+		if f.Kind == "wakeup_storm" && f.Duration.D() != 0 {
+			return verr(pos+".duration", "wakeup_storm is instantaneous — duration does not apply")
+		}
+	}
 	return nil
 }
 

@@ -54,6 +54,20 @@ type Core struct {
 	// preemption of the mid-transition thread is deferred.
 	inBoundary bool
 
+	// offline marks a hot-unplugged core (Machine.OfflineCore): placement
+	// refuses it (Thread.CanRunOn), its tick chain is stopped, and dispatch
+	// never runs IdleBalance on it until Machine.OnlineCore.
+	offline bool
+
+	// speedNum scales the rate the core retires Run/Spin work relative to
+	// wall time (frequency throttling): a running burst consumes
+	// speedNum/speedDen of work per wall nanosecond. Zero means full
+	// speed. workCarry accumulates the sub-nanosecond remainder of the
+	// fixed-point division so cumulative work is exact no matter how
+	// finely flushes slice the burst.
+	speedNum  int64
+	workCarry int64
+
 	// BusyTime is cumulative thread execution time.
 	BusyTime time.Duration
 	// SchedTime is cumulative time charged to scheduler work (context
@@ -74,6 +88,45 @@ func (c *Core) Machine() *Machine { return c.mach }
 // Idle reports whether the core has no running thread.
 func (c *Core) Idle() bool { return c.Curr == nil }
 
+// Offline reports whether the core is hot-unplugged.
+func (c *Core) Offline() bool { return c.offline }
+
+// speedDen is the fixed denominator of the core speed fraction: factors
+// resolve to a multiple of 1/65536, small enough that work×speedDen
+// arithmetic cannot overflow int64 for any realistic simulated window.
+const speedDen = 1 << 16
+
+// Speed returns the core's current speed factor (1.0 = full speed).
+func (c *Core) Speed() float64 {
+	if c.speedNum == 0 {
+		return 1
+	}
+	return float64(c.speedNum) / float64(speedDen)
+}
+
+// wallFor returns the wall time the core needs to retire work at its
+// current speed. The ceiling pairs with workFor's floor-with-carry so a
+// burst-end event armed wallFor(remaining) out always finds the work
+// fully retired when it fires.
+func (c *Core) wallFor(work time.Duration) time.Duration {
+	if c.speedNum == 0 || work <= 0 {
+		return work
+	}
+	return time.Duration((int64(work)*speedDen + c.speedNum - 1) / c.speedNum)
+}
+
+// workFor converts an elapsed wall segment into retired work at the
+// core's speed, carrying the fixed-point remainder across calls so
+// arbitrarily fine flush granularity (ticks, charges) loses nothing.
+func (c *Core) workFor(delta time.Duration) time.Duration {
+	if c.speedNum == 0 {
+		return delta
+	}
+	num := int64(delta)*c.speedNum + c.workCarry
+	c.workCarry = num % speedDen
+	return time.Duration(num / speedDen)
+}
+
 // flushRun folds the elapsed segment of the running thread into its
 // accounting; schedulers always observe fresh RunTime.
 func (c *Core) flushRun() {
@@ -90,7 +143,7 @@ func (c *Core) flushRun() {
 	t.RunTime += delta
 	c.BusyTime += delta
 	if t.opValid && (t.op.Kind == OpRun || t.op.Kind == OpSpin) {
-		t.opRemaining -= delta
+		t.opRemaining -= c.workFor(delta)
 		if t.opRemaining < 0 {
 			t.opRemaining = 0
 		}

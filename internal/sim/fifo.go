@@ -220,4 +220,24 @@ func (f *FIFO) IdleBalance(c *Core) bool {
 // NrRunnable implements Scheduler.
 func (f *FIFO) NrRunnable(c *Core) int { return f.rqs[c.ID].load }
 
+// CoreOffline implements Hotplugger: migrate every queued thread to the
+// least-loaded online core (SelectCore filters offline cores through
+// CanRunOn).
+func (f *FIFO) CoreOffline(c *Core) {
+	rq := &f.rqs[c.ID]
+	for rq.size() > 0 {
+		t := rq.queue[rq.head]
+		target := f.SelectCore(t, nil, FlagMigrate)
+		if target == nil {
+			panic("fifo: no online core for " + t.Name)
+		}
+		f.m.Migrate(t, c, target)
+	}
+}
+
+// CoreOnline implements Hotplugger: nothing to rebuild — the engine's
+// post-online dispatch pulls work back via IdleBalance.
+func (f *FIFO) CoreOnline(c *Core) {}
+
 var _ Scheduler = (*FIFO)(nil)
+var _ Hotplugger = (*FIFO)(nil)

@@ -73,6 +73,13 @@ type Machine struct {
 	nextTID int
 	live    int
 
+	// nOffline counts hot-unplugged cores; while zero the placement guard
+	// (ensurePlaceable) is a single compare.
+	nOffline int
+	// wallDeadline is the host-clock watchdog instant (perturb.go); zero
+	// means disarmed. Run/RunUntil test it every deadlineMask+1 events.
+	wallDeadline time.Time
+
 	// execCore is the core whose program code is currently executing (for
 	// charging wakeup costs to the waker's CPU); nil in timer context.
 	execCore *Core
@@ -334,6 +341,9 @@ func (m *Machine) Run(until time.Duration) {
 		}
 		m.now = e.at
 		m.events++
+		if m.events&deadlineMask == 0 {
+			m.checkDeadline()
+		}
 		m.curArmed, m.curSeq = e.armed, e.seq
 		m.fire(&e)
 	}
@@ -360,6 +370,9 @@ func (m *Machine) RunUntil(pred func() bool, max time.Duration) bool {
 		}
 		m.now = e.at
 		m.events++
+		if m.events&deadlineMask == 0 {
+			m.checkDeadline()
+		}
 		m.curArmed, m.curSeq = e.armed, e.seq
 		m.fire(&e)
 	}
@@ -421,6 +434,7 @@ func (m *Machine) spawn(name, group string, nice int, prog Program, parent *Thre
 	} else if m.pendingPin != nil {
 		t.Pinned = append([]int(nil), m.pendingPin...)
 	}
+	m.ensurePlaceable(t)
 	m.nextTID++
 	m.threads = append(m.threads, t)
 	m.sleepTok = append(m.sleepTok, 0)
@@ -645,7 +659,7 @@ func (m *Machine) dispatch(c *Core) {
 	}
 	c.dispatching = true
 	defer func() { c.dispatching = false }()
-	triedIdle := false
+	triedIdle := c.offline // offline cores never pull work
 	for {
 		t := m.sched.PickNext(c)
 		if t == nil {
@@ -725,7 +739,7 @@ func (m *Machine) scheduleBurstEnd(c *Core) {
 	tok := &m.coreTok[c.ID]
 	tok.burst++
 	m.schedule(event{
-		at:    c.runStart + t.opRemaining,
+		at:    c.runStart + c.wallFor(t.opRemaining),
 		kind:  evBurstEnd,
 		id:    int32(c.ID),
 		tid:   int32(t.ID),

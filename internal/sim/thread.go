@@ -133,8 +133,14 @@ func (t *Thread) Machine() *Machine { return t.mach }
 // Running reports whether the thread is currently on a CPU.
 func (t *Thread) Running() bool { return t.state == StateRunning }
 
-// CanRunOn reports whether affinity allows the thread on core id.
+// CanRunOn reports whether the thread may be placed on core id: the
+// core must be online and the thread's affinity (if any) must allow it.
+// Every scheduler placement and steal scan filters through here, which
+// is what keeps hot-unplugged cores out of all placement decisions.
 func (t *Thread) CanRunOn(id int) bool {
+	if t.mach.coreArr[id].offline {
+		return false
+	}
 	if t.Pinned == nil {
 		return true
 	}

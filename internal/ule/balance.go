@@ -31,7 +31,10 @@ func (s *Sched) balance() {
 		donor, receiver := -1, -1
 		hi, lo := -1, int(^uint(0)>>1)
 		for id := range s.tdqs {
-			if used[id] {
+			// Offline cores report load 0 and would otherwise always win
+			// the receiver slot, silently burning a donor pairing per
+			// invocation on a core that can accept nothing.
+			if used[id] || s.tdqs[id].core.Offline() {
 				continue
 			}
 			load := s.tdqs[id].load
