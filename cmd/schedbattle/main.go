@@ -51,6 +51,8 @@ func main() {
 		trialTmo   = flag.Duration("trial-timeout", 0, "per-trial wall-clock watchdog (0 = off): a stuck trial fails itself instead of wedging the grid")
 		out        = flag.String("out", "", "write a structured JSON report to this file (\"-\" = stdout)")
 		scen       = flag.String("scenario", "", "run a scenario: bundled name or path to a .json spec")
+		traceDir   = flag.String("trace", "", "with -scenario: directory for per-trial dtrace/v1 decision-trace files (enables tracing even when the spec has no trace block)")
+		traceCSV   = flag.String("trace-csv", "", "with -scenario: path for the decision-trace CSV debug rendering (same enabling rule as -trace)")
 		scenList   = flag.Bool("scenarios", false, "list bundled scenarios and exit")
 		battleArg  = flag.String("battle", "", "battle scenarios (comma-separated names/paths, or \"all\"): multi-seed replication, CIs, win/loss/tie matrix")
 		reps       = flag.Int("replications", 5, "battle seed-replication count per scheduler")
@@ -142,7 +144,7 @@ func main() {
 	}
 
 	if *scen != "" {
-		if err := runScenario(*scen, *scale, *out, *seriesDir); err != nil {
+		if err := runScenario(*scen, *scale, *out, *seriesDir, *traceDir, *traceCSV); err != nil {
 			fmt.Fprintf(os.Stderr, "schedbattle: %v\n", err)
 			os.Exit(1)
 		}

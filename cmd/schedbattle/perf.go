@@ -15,6 +15,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"runtime/pprof"
@@ -23,26 +24,34 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/dtrace"
 	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
 // perfScenario is one timed simulation: a machine builder plus the
-// simulated window to drive it through.
+// simulated window to drive it through. traced scenarios additionally
+// attach a full decision-trace recorder draining to io.Discard, pricing
+// the dtrace layer against its untraced twin.
 type perfScenario struct {
 	name   string
 	window time.Duration
 	build  func() *sim.Machine
+	traced bool
 }
 
-// perfResult is one timed scenario row of a trajectory entry.
+// perfResult is one timed scenario row of a trajectory entry. Decisions
+// and DecisionsPerSec are present for traced scenarios only: scheduler
+// decision points observed by the recorder, before sampling.
 type perfResult struct {
-	Name         string  `json:"name"`
-	Events       uint64  `json:"events"`
-	WallSeconds  float64 `json:"wall_seconds"`
-	SimSeconds   float64 `json:"sim_seconds"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	SimPerWall   float64 `json:"sim_seconds_per_wall_second"`
+	Name            string  `json:"name"`
+	Events          uint64  `json:"events"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	SimSeconds      float64 `json:"sim_seconds"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	SimPerWall      float64 `json:"sim_seconds_per_wall_second"`
+	Decisions       uint64  `json:"decisions,omitempty"`
+	DecisionsPerSec float64 `json:"decisions_per_sec,omitempty"`
 }
 
 // perfEntry is one harness run in the trajectory: a label (normally the
@@ -107,6 +116,7 @@ func perfScenarios() []perfScenario {
 	return []perfScenario{
 		{name: "sysbench-ule-32", window: apps.ShellWarmup + 3*time.Second, build: server(core.ULE, false)},
 		{name: "sysbench-ule-32-probed", window: apps.ShellWarmup + 3*time.Second, build: server(core.ULE, true)},
+		{name: "sysbench-ule-32-traced", window: apps.ShellWarmup + 3*time.Second, build: server(core.ULE, false), traced: true},
 		{name: "sysbench-cfs-32", window: apps.ShellWarmup + 3*time.Second, build: server(core.CFS, false)},
 		{name: "idle-ule-32", window: 10 * time.Second, build: func() *sim.Machine {
 			return core.NewMachine(core.MachineConfig{Cores: 32, Kind: core.ULE, Seed: 13})
@@ -127,10 +137,15 @@ func timeScenarios(iters int) []perfResult {
 		// One untimed warm-up run: the first timed scenario in a cold
 		// process otherwise eats page faults and frequency ramp-up and
 		// reads 10-15% slow, which would poison the -perf-check gate.
-		sc.build().Run(sc.window)
+		{
+			m := sc.build()
+			perfAttachTrace(&sc, m)
+			m.Run(sc.window)
+		}
 		var best perfResult
 		for it := 0; it < iters; it++ {
 			m := sc.build()
+			rec := perfAttachTrace(&sc, m)
 			start := time.Now()
 			m.Run(sc.window)
 			wall := time.Since(start).Seconds()
@@ -144,15 +159,41 @@ func timeScenarios(iters int) []perfResult {
 				r.EventsPerSec = float64(r.Events) / wall
 				r.SimPerWall = r.SimSeconds / wall
 			}
+			if rec != nil {
+				_ = rec.Close()
+				r.Decisions = rec.Summary().Decisions
+				if wall > 0 {
+					r.DecisionsPerSec = float64(r.Decisions) / wall
+				}
+			}
 			if it == 0 || r.EventsPerSec > best.EventsPerSec {
 				best = r
 			}
 		}
-		fmt.Printf("%-22s %12d events  %8.3fs wall  %10.0f events/s  %8.1f sim-s/wall-s\n",
+		line := fmt.Sprintf("%-22s %12d events  %8.3fs wall  %10.0f events/s  %8.1f sim-s/wall-s",
 			best.Name, best.Events, best.WallSeconds, best.EventsPerSec, best.SimPerWall)
+		if best.DecisionsPerSec > 0 {
+			line += fmt.Sprintf("  %10.0f decisions/s", best.DecisionsPerSec)
+		}
+		fmt.Println(line)
 		results = append(results, best)
 	}
 	return results
+}
+
+// perfAttachTrace attaches the full-fidelity recorder to traced
+// scenarios; nil otherwise. io.Discard keeps encode work in the timing
+// without accumulating gigabytes, and the effectively-unbounded byte cap
+// prevents mid-run chunk dropping from hiding encode cost.
+func perfAttachTrace(sc *perfScenario, m *sim.Machine) *dtrace.Recorder {
+	if !sc.traced {
+		return nil
+	}
+	rec, err := dtrace.Attach(m, dtrace.Options{Sink: io.Discard, MaxBytes: 1 << 40})
+	if err != nil {
+		panic(err) // static options
+	}
+	return rec
 }
 
 // perfLabelOrDefault resolves the trajectory label: the -perf-label flag,

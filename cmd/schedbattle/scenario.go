@@ -8,6 +8,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/scenario"
 )
@@ -36,11 +38,21 @@ func listScenarios() error {
 // outPath ("" or "-" = stdout); a one-line summary per trial goes to
 // stderr so a redirected stdout stays pure JSON. seriesPath, when set,
 // receives the probe-series CSV export (header-only when the spec has no
-// series block).
-func runScenario(nameOrPath string, scale float64, outPath, seriesPath string) error {
+// series block). traceDir receives one dtrace/v1 file per trial and
+// traceCSV the flat CSV rendering; either one enables tracing with
+// default options when the spec has no trace block. Every export failure
+// names the path it could not write and fails the run.
+func runScenario(nameOrPath string, scale float64, outPath, seriesPath, traceDir, traceCSV string) error {
 	sp, err := scenario.Load(nameOrPath)
 	if err != nil {
 		return err
+	}
+	if (traceDir != "" || traceCSV != "") && sp.Trace == nil {
+		// Bundled specs are shared read-only; clone before enabling the
+		// default trace block for this invocation.
+		cp := *sp
+		cp.Trace = &scenario.TraceSpec{}
+		sp = &cp
 	}
 	rep, err := sp.Run(scale)
 	var fails *scenario.TrialFailures
@@ -71,19 +83,40 @@ func runScenario(nameOrPath string, scale float64, outPath, seriesPath string) e
 		if v, ok := tr.Derived[scenario.MetricRecoveryUS]; ok {
 			line += fmt.Sprintf("  recov=%.4gus", v)
 		}
+		if v, ok := tr.Derived[scenario.MetricHeadroomPct]; ok {
+			line += fmt.Sprintf("  headroom=%.3g%%", v)
+		}
 		fmt.Fprintln(os.Stderr, line)
 	}
 	if err := scenario.WriteReport(outPath, rep); err != nil {
-		return fmt.Errorf("writing report: %w", err)
+		if outPath == "" || outPath == "-" {
+			return fmt.Errorf("writing report to stdout: %w", err)
+		}
+		return fmt.Errorf("writing report %s: %w", outPath, err)
 	}
 	if outPath != "" && outPath != "-" {
 		fmt.Fprintf(os.Stderr, "schedbattle: wrote %s\n", outPath)
 	}
 	if seriesPath != "" {
 		if err := os.WriteFile(seriesPath, rep.SeriesCSV(), 0o644); err != nil {
-			return fmt.Errorf("writing series CSV: %w", err)
+			return fmt.Errorf("writing series CSV %s: %w", seriesPath, err)
 		}
 		fmt.Fprintf(os.Stderr, "schedbattle: wrote %s\n", seriesPath)
+	}
+	if traceDir != "" {
+		if err := writeTraces(traceDir, rep); err != nil {
+			return err
+		}
+	}
+	if traceCSV != "" {
+		csv, err := rep.TraceCSV()
+		if err != nil {
+			return fmt.Errorf("rendering trace CSV: %w", err)
+		}
+		if err := os.WriteFile(traceCSV, csv, 0o644); err != nil {
+			return fmt.Errorf("writing trace CSV %s: %w", traceCSV, err)
+		}
+		fmt.Fprintf(os.Stderr, "schedbattle: wrote %s\n", traceCSV)
 	}
 	if fails != nil {
 		// Stacks go to stderr only — they carry host addresses and must
@@ -93,5 +126,29 @@ func runScenario(nameOrPath string, scale float64, outPath, seriesPath string) e
 		}
 		return fmt.Errorf("%d of %d trials failed", len(fails.Errs), fails.Total)
 	}
+	return nil
+}
+
+// writeTraces dumps every trial's encoded dtrace/v1 stream as
+// "<dir>/<trial>.dtrace", the trial name's path separators flattened to
+// underscores ("web-tail/c8/ule/x0.05/s1" → "web-tail_c8_ule_x0.05_s1").
+// Trials without trace data (failed cells) are skipped.
+func writeTraces(dir string, rep *scenario.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating trace directory %s: %w", dir, err)
+	}
+	n := 0
+	for i := range rep.Trials {
+		tr := &rep.Trials[i]
+		if len(tr.TraceData) == 0 {
+			continue
+		}
+		path := filepath.Join(dir, strings.ReplaceAll(tr.Name, "/", "_")+".dtrace")
+		if err := os.WriteFile(path, tr.TraceData, 0o644); err != nil {
+			return fmt.Errorf("writing trace %s: %w", path, err)
+		}
+		n++
+	}
+	fmt.Fprintf(os.Stderr, "schedbattle: wrote %d trace file(s) to %s\n", n, dir)
 	return nil
 }

@@ -457,6 +457,18 @@ func (s *Sched) NrRunnable(c *sim.Core) int { return s.cores[c.ID].hNr }
 // CoreLoad exposes the PELT core load (tests and figures).
 func (s *Sched) CoreLoad(core int) int64 { return s.cores[core].loadAvg }
 
+// ExplainPick implements sim.PickExplainer: every thread CFS accounts
+// runnable on c (the per-core deterministic list; a running or just-picked
+// thread is still on it), keyed by the thread entity's vruntime within its
+// group runqueue.
+func (s *Sched) ExplainPick(c *sim.Core, buf []sim.PickCandidate) []sim.PickCandidate {
+	buf = buf[:0]
+	for _, t := range s.cores[c.ID].threads {
+		buf = append(buf, sim.PickCandidate{TID: int32(t.ID), Key: s.ent(t).vruntime})
+	}
+	return buf
+}
+
 func (cs *coreState) removeThread(t *sim.Thread) {
 	for i, x := range cs.threads {
 		if x == t {
@@ -468,6 +480,7 @@ func (cs *coreState) removeThread(t *sim.Thread) {
 }
 
 var _ sim.Scheduler = (*Sched)(nil)
+var _ sim.PickExplainer = (*Sched)(nil)
 
 // DebugEntity renders an entity's scheduling state for diagnostics.
 func (s *Sched) DebugEntity(t *sim.Thread) string {

@@ -1,0 +1,84 @@
+package dtrace
+
+// BenchmarkTraceOverhead prices the recorder from both sides: "off" is
+// the BenchmarkEngineEvents workload on a machine with no recorder — it
+// must stay 0 allocs/op, proving the new OnPick/OnWake sites cost a nil
+// check — while "on" attaches a full recorder draining to io.Discard,
+// pricing real per-decision capture. TestZeroRecorderAllocFree pins the
+// "off" side as a plain test so CI enforces it without benchmark noise.
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func benchTrace(b *testing.B, attach bool) {
+	sched := sim.NewFIFO()
+	m := sim.NewMachine(topo.Small(), sched, sim.Options{Seed: 9})
+	for i := 0; i < 12; i++ {
+		m.StartThread("w", "app", 0, &runSleeper{run: 700 * time.Microsecond, sleep: 400 * time.Microsecond})
+	}
+	if attach {
+		if _, err := Attach(m, Options{Sink: io.Discard, MaxBytes: 1 << 40}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m.Run(250 * time.Millisecond) // settle heap, runqueue, and scratch capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := m.EventsProcessed()
+	for i := 0; i < b.N; i++ {
+		m.Run(m.Now() + time.Millisecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(m.EventsProcessed()-start)/float64(b.N), "events/op")
+}
+
+func BenchmarkTraceOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) { benchTrace(b, false) })
+	b.Run("on", func(b *testing.B) { benchTrace(b, true) })
+}
+
+// TestZeroRecorderAllocFree: a machine without a recorder allocates
+// nothing in the hot paths — the zero-recorder contract the tentpole
+// must not regress.
+func TestZeroRecorderAllocFree(t *testing.T) {
+	m := sim.NewMachine(topo.Small(), sim.NewFIFO(), sim.Options{Seed: 9})
+	for i := 0; i < 12; i++ {
+		m.StartThread("w", "app", 0, &runSleeper{run: 700 * time.Microsecond, sleep: 400 * time.Microsecond})
+	}
+	m.Run(250 * time.Millisecond)
+	avg := testing.AllocsPerRun(20, func() {
+		m.Run(m.Now() + 5*time.Millisecond)
+	})
+	if avg != 0 {
+		t.Fatalf("zero-recorder hot paths allocated %.1f allocs per 5ms window, want 0", avg)
+	}
+}
+
+// TestRecorderSteadyStateAllocFree: with a recorder attached and warmed,
+// recording itself allocates nothing — the arena/ring/scratch are all
+// preallocated and the sink write is the only byte sink.
+func TestRecorderSteadyStateAllocFree(t *testing.T) {
+	sched := sim.NewFIFO()
+	m := sim.NewMachine(topo.Small(), sched, sim.Options{Seed: 9})
+	r, err := Attach(m, Options{Sink: io.Discard, MaxBytes: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		m.StartThread("w", "app", 0, &runSleeper{run: 700 * time.Microsecond, sleep: 400 * time.Microsecond})
+	}
+	m.Run(250 * time.Millisecond) // past the first flush: scratch is sized
+	avg := testing.AllocsPerRun(20, func() {
+		m.Run(m.Now() + 5*time.Millisecond)
+	})
+	if avg != 0 {
+		t.Fatalf("recorder steady state allocated %.1f allocs per 5ms window, want 0", avg)
+	}
+	_ = r
+}

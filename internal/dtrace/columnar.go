@@ -1,0 +1,395 @@
+package dtrace
+
+// The dtrace/v1 columnar on-disk format. Self-describing and stable:
+//
+//	line 1:  "dtrace/v1\n"                     (magic)
+//	line 2:  JSON header + "\n"                (column descriptors, options)
+//	then, until EOF, chunks:
+//	  JSON chunk header + "\n"                 {"records":N,"cands":M}
+//	  one block per header column, in header order:
+//	    fixed columns:    N × width bytes, little-endian
+//	    cand_id/cand_key: M × width bytes, little-endian
+//
+// One chunk is one ring flush, which is what lets the recorder spill an
+// unbounded run through a bounded ring. The header's column list is the
+// single source of truth for what a chunk contains; readers must use it
+// rather than assuming the full column set.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Magic is the first line of every dtrace/v1 stream.
+const Magic = "dtrace/v1"
+
+// colMask selects optional column groups.
+type colMask uint8
+
+const (
+	groupOther colMask = 1 << iota
+	groupWait
+	groupDigest
+	groupCand
+
+	maskAll = groupOther | groupWait | groupDigest | groupCand
+)
+
+var groupByName = map[string]colMask{
+	"other":   groupOther,
+	"wait_ns": groupWait,
+	"digest":  groupDigest,
+	"cand":    groupCand,
+}
+
+// colDef describes one column of the canonical set, in canonical order.
+type colDef struct {
+	name  string
+	typ   string // i64, u64, i32, u16, u8
+	width int
+	group colMask // 0 = mandatory
+	vary  bool    // sized by the chunk's cand count, not its record count
+}
+
+var colDefs = []colDef{
+	{"t_ns", "i64", 8, 0, false},
+	{"core", "i32", 4, 0, false},
+	{"kind", "u8", 1, 0, false},
+	{"thread", "i32", 4, 0, false},
+	{"other", "i32", 4, groupOther, false},
+	{"wait_ns", "i64", 8, groupWait, false},
+	{"digest", "u64", 8, groupDigest, false},
+	{"cand_len", "u16", 2, groupCand, false},
+	{"cand_id", "i32", 4, groupCand, true},
+	{"cand_key", "i64", 8, groupCand, true},
+}
+
+// ColumnDesc is one column entry of the self-describing header.
+type ColumnDesc struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// Header is the dtrace/v1 JSON header (line 2 of the stream).
+type Header struct {
+	Columns []ColumnDesc `json:"columns"`
+	Sample  int          `json:"sample"`
+	Window  int          `json:"window"`
+}
+
+// chunkHeader prefixes each chunk.
+type chunkHeader struct {
+	Records int `json:"records"`
+	Cands   int `json:"cands"`
+}
+
+// encoder streams the columnar encoding to a sink, enforcing MaxBytes.
+type encoder struct {
+	cols    colMask
+	opts    Options
+	buf     *bytes.Buffer // in-memory output when opts.Sink == nil
+	w       io.Writer
+	scratch []byte
+	written int64
+	max     int64
+	err     error
+}
+
+func (e *encoder) init(cols colMask, opts Options) {
+	e.cols = cols
+	e.opts = opts
+	e.max = opts.MaxBytes
+	if opts.Sink != nil {
+		e.w = opts.Sink
+	} else {
+		e.buf = &bytes.Buffer{}
+		e.w = e.buf
+	}
+}
+
+// headerFor builds the self-describing header for a column selection.
+func headerFor(cols colMask, sample, window int) Header {
+	h := Header{Sample: sample, Window: window, Columns: []ColumnDesc{}}
+	for _, cd := range colDefs {
+		if cd.group == 0 || cols&cd.group != 0 {
+			h.Columns = append(h.Columns, ColumnDesc{Name: cd.name, Type: cd.typ})
+		}
+	}
+	return h
+}
+
+func (e *encoder) writeHeader() error {
+	hdr, err := json.Marshal(headerFor(e.cols, e.opts.Sample, e.opts.Window))
+	if err != nil {
+		return err
+	}
+	n, err := fmt.Fprintf(e.w, "%s\n%s\n", Magic, hdr)
+	e.written += int64(n)
+	e.err = err
+	return err
+}
+
+// writeChunk encodes the recorder's ring as one chunk. Returns false when
+// the chunk was dropped (byte cap reached or a prior sink error).
+func (e *encoder) writeChunk(r *Recorder) bool {
+	if e.err != nil {
+		return false
+	}
+	nc := len(r.candID)
+	hdr := fmt.Sprintf("{\"records\":%d,\"cands\":%d}\n", r.n, nc)
+	size := int64(len(hdr))
+	for _, cd := range colDefs {
+		if cd.group != 0 && e.cols&cd.group == 0 {
+			continue
+		}
+		if cd.vary {
+			size += int64(nc * cd.width)
+		} else {
+			size += int64(r.n * cd.width)
+		}
+	}
+	if e.written+size > e.max {
+		return false
+	}
+	if cap(e.scratch) < int(size) {
+		e.scratch = make([]byte, 0, int(size))
+	}
+	b := append(e.scratch[:0], hdr...)
+	for _, cd := range colDefs {
+		if cd.group != 0 && e.cols&cd.group == 0 {
+			continue
+		}
+		switch cd.name {
+		case "t_ns":
+			b = appendI64s(b, r.tNS)
+		case "core":
+			b = appendI32s(b, r.core)
+		case "kind":
+			b = append(b, r.kind...)
+		case "thread":
+			b = appendI32s(b, r.thread)
+		case "other":
+			b = appendI32s(b, r.other)
+		case "wait_ns":
+			b = appendI64s(b, r.waitNS)
+		case "digest":
+			b = appendU64s(b, r.digest)
+		case "cand_len":
+			b = appendU16s(b, r.candLen)
+		case "cand_id":
+			b = appendI32s(b, r.candID)
+		case "cand_key":
+			b = appendI64s(b, r.candKey)
+		}
+	}
+	e.scratch = b[:0]
+	n, err := e.w.Write(b)
+	e.written += int64(n)
+	if err != nil {
+		e.err = err
+		return false
+	}
+	return true
+}
+
+func appendI64s(b []byte, vs []int64) []byte {
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint64(b, uint64(v))
+	}
+	return b
+}
+
+func appendU64s(b []byte, vs []uint64) []byte {
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint64(b, v)
+	}
+	return b
+}
+
+func appendI32s(b []byte, vs []int32) []byte {
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint32(b, uint32(v))
+	}
+	return b
+}
+
+func appendU16s(b []byte, vs []uint16) []byte {
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint16(b, v)
+	}
+	return b
+}
+
+// Candidate is one decoded candidate-set entry. For pick records ID is a
+// thread id and Key the scheduler's ordering key; for wake records ID is
+// an allowed core and Key its runnable depth at decision time.
+type Candidate struct {
+	ID  int32
+	Key int64
+}
+
+// Rec is one decoded decision record. Columns absent from the trace
+// decode as zero values (Other as -1).
+type Rec struct {
+	T      int64 // virtual time, ns
+	Core   int32 // deciding / target core
+	Kind   Kind
+	Thread int32
+	Other  int32 // wake origin, migrate source, steal victim; -1 = none
+	WaitNS int64
+	Digest uint64
+	Cand   []Candidate
+}
+
+// Trace is a fully decoded dtrace/v1 stream.
+type Trace struct {
+	Header Header
+	Recs   []Rec
+}
+
+// DecodeHeader parses and validates the magic and header lines,
+// returning the header and the offset where chunks begin.
+func DecodeHeader(data []byte) (Header, int, error) {
+	var h Header
+	rest, ok := bytes.CutPrefix(data, []byte(Magic+"\n"))
+	if !ok {
+		return h, 0, fmt.Errorf("dtrace: bad magic (want %q)", Magic)
+	}
+	nl := bytes.IndexByte(rest, '\n')
+	if nl < 0 {
+		return h, 0, fmt.Errorf("dtrace: truncated header")
+	}
+	if err := json.Unmarshal(rest[:nl], &h); err != nil {
+		return h, 0, fmt.Errorf("dtrace: header: %w", err)
+	}
+	for _, c := range h.Columns {
+		if w := typeWidth(c.Type); w == 0 {
+			return h, 0, fmt.Errorf("dtrace: column %q has unknown type %q", c.Name, c.Type)
+		}
+	}
+	return h, len(Magic) + 1 + nl + 1, nil
+}
+
+func typeWidth(typ string) int {
+	switch typ {
+	case "i64", "u64":
+		return 8
+	case "i32":
+		return 4
+	case "u16":
+		return 2
+	case "u8":
+		return 1
+	}
+	return 0
+}
+
+// Decode parses a complete dtrace/v1 stream.
+func Decode(data []byte) (*Trace, error) {
+	h, off, err := DecodeHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Header: h}
+	body := data[off:]
+	for len(body) > 0 {
+		nl := bytes.IndexByte(body, '\n')
+		if nl < 0 {
+			return nil, fmt.Errorf("dtrace: truncated chunk header")
+		}
+		var ch chunkHeader
+		if err := json.Unmarshal(body[:nl], &ch); err != nil {
+			return nil, fmt.Errorf("dtrace: chunk header: %w", err)
+		}
+		if ch.Records < 0 || ch.Cands < 0 {
+			return nil, fmt.Errorf("dtrace: negative chunk counts %+v", ch)
+		}
+		body = body[nl+1:]
+		base := len(tr.Recs)
+		for i := 0; i < ch.Records; i++ {
+			rec := Rec{Other: -1}
+			tr.Recs = append(tr.Recs, rec)
+		}
+		var candID []int32
+		var candKey []int64
+		for _, c := range h.Columns {
+			w := typeWidth(c.Type)
+			n := ch.Records
+			if c.Name == "cand_id" || c.Name == "cand_key" {
+				n = ch.Cands
+			}
+			need := n * w
+			if len(body) < need {
+				return nil, fmt.Errorf("dtrace: truncated column %q (need %d bytes, have %d)", c.Name, need, len(body))
+			}
+			col := body[:need]
+			body = body[need:]
+			switch c.Name {
+			case "t_ns":
+				for i := 0; i < n; i++ {
+					tr.Recs[base+i].T = int64(binary.LittleEndian.Uint64(col[i*8:]))
+				}
+			case "core":
+				for i := 0; i < n; i++ {
+					tr.Recs[base+i].Core = int32(binary.LittleEndian.Uint32(col[i*4:]))
+				}
+			case "kind":
+				for i := 0; i < n; i++ {
+					tr.Recs[base+i].Kind = Kind(col[i])
+				}
+			case "thread":
+				for i := 0; i < n; i++ {
+					tr.Recs[base+i].Thread = int32(binary.LittleEndian.Uint32(col[i*4:]))
+				}
+			case "other":
+				for i := 0; i < n; i++ {
+					tr.Recs[base+i].Other = int32(binary.LittleEndian.Uint32(col[i*4:]))
+				}
+			case "wait_ns":
+				for i := 0; i < n; i++ {
+					tr.Recs[base+i].WaitNS = int64(binary.LittleEndian.Uint64(col[i*8:]))
+				}
+			case "digest":
+				for i := 0; i < n; i++ {
+					tr.Recs[base+i].Digest = binary.LittleEndian.Uint64(col[i*8:])
+				}
+			case "cand_len":
+				// Applied after cand_id/cand_key are read.
+				for i := 0; i < n; i++ {
+					tr.Recs[base+i].Cand = make([]Candidate, binary.LittleEndian.Uint16(col[i*2:]))
+				}
+			case "cand_id":
+				candID = make([]int32, n)
+				for i := range candID {
+					candID[i] = int32(binary.LittleEndian.Uint32(col[i*4:]))
+				}
+			case "cand_key":
+				candKey = make([]int64, n)
+				for i := range candKey {
+					candKey[i] = int64(binary.LittleEndian.Uint64(col[i*8:]))
+				}
+			default:
+				// Unknown (future) column: skipped — the width made that safe.
+			}
+		}
+		// Stitch the flat candidate arrays back onto the records.
+		off := 0
+		for i := base; i < len(tr.Recs); i++ {
+			want := len(tr.Recs[i].Cand)
+			if off+want > len(candID) || len(candID) != len(candKey) {
+				return nil, fmt.Errorf("dtrace: cand_len sum exceeds chunk cand count")
+			}
+			for j := 0; j < want; j++ {
+				tr.Recs[i].Cand[j] = Candidate{ID: candID[off+j], Key: candKey[off+j]}
+			}
+			off += want
+		}
+		if candID != nil && off != len(candID) {
+			return nil, fmt.Errorf("dtrace: chunk cand count %d does not match cand_len sum %d", len(candID), off)
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,263 @@
+package dtrace
+
+// The oracle headroom analyzer: how much of the wakeup queueing a
+// scheduler inflicted could a clairvoyant placer have avoided?
+//
+// Model. Each wake record carries the placement alternatives the
+// scheduler had — the cores the thread was allowed on, each with its
+// runnable depth at decision time — and the core actually chosen. The
+// modeled cost of placing a wake on core c is c's corrected depth: the
+// recorded depth, minus earlier in-window actual placements on c (they
+// are part of the recorded depth but would not exist under the
+// alternative), plus earlier in-window hypothetical placements (they
+// would). Costs are summed per window; "achieved" is the schedule the
+// scheduler produced, "attainable" the exhaustive minimum over
+// alternative assignments.
+//
+// Search bounds. Windows are Options.Window consecutive wake decisions
+// (≤ MaxWindow); within a window the search branches over the
+// Options.Branch cheapest candidates per decision (≤ MaxBranch, ties cut
+// by core id), depth-first with a partial-cost bound. Worst case is
+// branch^window nodes per window — at the defaults (8, 4), 65536 — and
+// the bound prunes most of it. The restriction to per-decision cheapest
+// candidates makes the result a lower bound on the true oracle's
+// improvement: headroom_pct is conservative.
+//
+// headroom_pct = 100 × (achieved − attainable) / achieved. 0 means the
+// scheduler's placements were queue-optimal under this model; larger
+// values mean a better placer had that fraction of modeled queueing to
+// reclaim. Everything is integer arithmetic over the recorded trace, so
+// the result is deterministic and identical whether computed online by
+// the Recorder or offline from a decoded trace (ComputeHeadroom).
+
+// Headroom is the analyzer's verdict over a run's wake decisions.
+type Headroom struct {
+	// Wakes counts the wake decisions analyzed.
+	Wakes int `json:"wakes"`
+	// Achieved is the summed modeled queue depth of the scheduler's
+	// actual placements.
+	Achieved int64 `json:"achieved"`
+	// Attainable is the summed depth of the best placements the
+	// windowed exhaustive search found.
+	Attainable int64 `json:"attainable"`
+	// Pct is 100 × (Achieved − Attainable) / Achieved, 0 when no
+	// queueing was observed.
+	Pct float64 `json:"pct"`
+}
+
+// wakeDecision is one buffered wake: the chosen core and the allowed
+// cores with their recorded depths.
+type wakeDecision struct {
+	chosen int32
+	cands  []Candidate
+}
+
+// headroomAcc accumulates windows online. All storage is preallocated.
+type headroomAcc struct {
+	window int
+	branch int
+	buf    []wakeDecision
+	n      int
+
+	// Search scratch.
+	ranked  []Candidate // per-decision corrected + ranked candidates
+	assign  []int32     // current partial assignment
+	achOne  []int64     // per-decision achieved cost within the window
+	wakes   int
+	ach     int64
+	att     int64
+	settled bool
+}
+
+func (a *headroomAcc) init(window, branch int) {
+	a.window = window
+	a.branch = branch
+	a.buf = make([]wakeDecision, window)
+	for i := range a.buf {
+		a.buf[i].cands = make([]Candidate, 0, 64)
+	}
+	a.ranked = make([]Candidate, 0, 64)
+	a.assign = make([]int32, window)
+	a.achOne = make([]int64, window)
+}
+
+// observe buffers one wake decision; loads is the per-core runnable
+// depth vector at decision time (indexed by core id). Only cores the
+// thread may run on become candidates.
+func (a *headroomAcc) observe(chosen int32, t canRunner, loads []int) {
+	d := &a.buf[a.n]
+	d.chosen = chosen
+	d.cands = d.cands[:0]
+	for id, load := range loads {
+		if !t.CanRunOn(id) || len(d.cands) == maxCandPerRec {
+			continue
+		}
+		d.cands = append(d.cands, Candidate{ID: int32(id), Key: int64(load)})
+	}
+	a.n++
+	if a.n == a.window {
+		a.solveWindow()
+	}
+}
+
+// observeCands is observe for replay from a decoded trace, where the
+// allowed-core set and depths come straight from the record.
+func (a *headroomAcc) observeCands(chosen int32, cands []Candidate) {
+	d := &a.buf[a.n]
+	d.chosen = chosen
+	d.cands = append(d.cands[:0], cands...)
+	a.n++
+	if a.n == a.window {
+		a.solveWindow()
+	}
+}
+
+// canRunner is the slice of sim.Thread the accumulator needs.
+type canRunner interface{ CanRunOn(id int) bool }
+
+// depthOf finds a core's recorded depth in a candidate set (-1: absent).
+func depthOf(cands []Candidate, core int32) int64 {
+	for _, c := range cands {
+		if c.ID == core {
+			return c.Key
+		}
+	}
+	return -1
+}
+
+// corrected returns decision i's modeled cost on core: recorded depth,
+// minus earlier in-window actual placements on core, plus earlier
+// hypothetical ones (assign[:i]), floored at 0. A core missing from the
+// record (raced offline) is priced at its hypothetical-only depth.
+func (a *headroomAcc) corrected(i int, core int32) int64 {
+	d := &a.buf[i]
+	depth := depthOf(d.cands, core)
+	if depth < 0 {
+		depth = 0
+	}
+	for j := 0; j < i; j++ {
+		if a.buf[j].chosen == core {
+			depth--
+		}
+		if a.assign[j] == core {
+			depth++
+		}
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return depth
+}
+
+// solveWindow scores the buffered window and resets it.
+func (a *headroomAcc) solveWindow() {
+	n := a.n
+	a.n = 0
+	if n == 0 {
+		return
+	}
+	// Achieved: the actual schedule's cost. The prior-placement
+	// corrections cancel for the actual assignment, so it is simply the
+	// recorded depth of each chosen core.
+	var achieved int64
+	for i := 0; i < n; i++ {
+		d := &a.buf[i]
+		c := depthOf(d.cands, d.chosen)
+		if c < 0 {
+			c = 0
+		}
+		a.achOne[i] = c
+		achieved += c
+	}
+	best := achieved // the actual schedule is always attainable
+	a.search(0, n, 0, &best)
+	a.wakes += n
+	a.ach += achieved
+	a.att += best
+}
+
+// search branches decision i over its cheapest candidates, bounding on
+// the partial cost.
+func (a *headroomAcc) search(i, n int, cost int64, best *int64) {
+	if cost >= *best {
+		return
+	}
+	if i == n {
+		*best = cost
+		return
+	}
+	d := &a.buf[i]
+	// Rank this decision's candidates by corrected cost (ties: core id).
+	a.ranked = a.ranked[:0]
+	for _, c := range d.cands {
+		a.ranked = append(a.ranked, Candidate{ID: c.ID, Key: a.corrected(i, c.ID)})
+	}
+	sortCandidates(a.ranked)
+	width := a.branch
+	if width > len(a.ranked) {
+		width = len(a.ranked)
+	}
+	if width == 0 {
+		// No recorded alternatives (candidate column truncated): charge
+		// the achieved cost and move on.
+		a.assign[i] = d.chosen
+		a.search(i+1, n, cost+a.achOne[i], best)
+		return
+	}
+	// a.ranked is rebuilt by deeper levels, so capture the slice we need.
+	var top [MaxBranch]Candidate
+	copy(top[:], a.ranked[:width])
+	for _, c := range top[:width] {
+		a.assign[i] = c.ID
+		a.search(i+1, n, cost+c.Key, best)
+	}
+}
+
+// finish scores a final partial window.
+func (a *headroomAcc) finish() {
+	if a.settled {
+		return
+	}
+	a.settled = true
+	a.solveWindow()
+}
+
+// result renders the accumulated verdict.
+func (a *headroomAcc) result() Headroom {
+	h := Headroom{Wakes: a.wakes, Achieved: a.ach, Attainable: a.att}
+	if a.ach > 0 {
+		h.Pct = 100 * float64(a.ach-a.att) / float64(a.ach)
+	}
+	return h
+}
+
+// ComputeHeadroom replays the analyzer over a decoded trace's wake
+// records. With the cand column group recorded and no dropped chunks it
+// reproduces the online Recorder.Headroom exactly; without candidates it
+// sees no alternatives and reports zero headroom. window and branch of 0
+// take the trace header's window and the default branch.
+func ComputeHeadroom(tr *Trace, window, branch int) Headroom {
+	if window == 0 {
+		window = tr.Header.Window
+	}
+	if window < 1 || window > MaxWindow {
+		window = defaultWindow
+	}
+	if branch == 0 {
+		branch = defaultBranch
+	}
+	if branch > MaxBranch {
+		branch = MaxBranch
+	}
+	var acc headroomAcc
+	acc.init(window, branch)
+	for i := range tr.Recs {
+		r := &tr.Recs[i]
+		if r.Kind != KindWake {
+			continue
+		}
+		acc.observeCands(r.Core, r.Cand)
+	}
+	acc.finish()
+	return acc.result()
+}

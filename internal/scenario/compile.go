@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/dtrace"
 	"repro/internal/fault"
 	"repro/internal/ipc"
 	"repro/internal/probe"
@@ -137,6 +138,20 @@ type entryState struct {
 // period — below this the sampler itself would dominate the event stream.
 const seriesCadenceFloor = 50 * time.Microsecond
 
+// options converts the spec's trace block into recorder options. The
+// recorder buffers in memory (Sink nil): the encoded stream rides the
+// TrialReport into the CLI exporters, keeping trial execution free of
+// filesystem effects (and so byte-identical at any -jobs width).
+func (ts *TraceSpec) options() dtrace.Options {
+	return dtrace.Options{
+		Sample:   ts.Sample,
+		Window:   ts.Window,
+		Branch:   ts.Branch,
+		Columns:  ts.Columns,
+		MaxBytes: ts.MaxBytes,
+	}
+}
+
 // seriesCadence resolves the effective sampling period of the series
 // block at the trial's scale.
 func (ss *SeriesSpec) seriesCadence(scale float64) time.Duration {
@@ -198,6 +213,7 @@ func (s *Spec) buildTrial(cores int, rs resolvedSched, scale float64, seed int64
 		s.Name, cores, rs.kind, strconv.FormatFloat(scale, 'g', -1, 64), seed)
 	states := make([]*entryState, len(s.Workload))
 	var att *probe.Attachment
+	var rec *dtrace.Recorder
 	plan := s.faultPlan(window)
 	var occs []fault.Occurrence
 	if plan != nil {
@@ -228,6 +244,13 @@ func (s *Spec) buildTrial(cores int, rs resolvedSched, scale float64, seed int64
 					Capacity: capacity,
 				})
 			}
+			if s.Trace != nil {
+				var err error
+				rec, err = dtrace.Attach(m, s.Trace.options())
+				if err != nil {
+					panic(err) // bounds validated upstream
+				}
+			}
 			if plan != nil {
 				// Faults install last: a probe sample landing exactly on a
 				// fault instant deterministically sees the pre-fault state.
@@ -236,7 +259,7 @@ func (s *Spec) buildTrial(cores int, rs resolvedSched, scale float64, seed int64
 			}
 		},
 		Extract: func(m *sim.Machine) TrialReport {
-			return s.extract(m, states, att, trialFaults{occs: occs, deg: deg}, cell{
+			return s.extract(m, states, att, rec, trialFaults{occs: occs, deg: deg}, cell{
 				name:  name,
 				cores: cores, kind: rs.kind, scale: scale, seed: seed, window: window,
 			})
@@ -467,7 +490,7 @@ type cell struct {
 // spec's metric selection. Everything read here is deterministic state of
 // the (single-threaded, seeded) simulation, so reports are byte-identical
 // however the surrounding grid was scheduled.
-func (s *Spec) extract(m *sim.Machine, states []*entryState, att *probe.Attachment, tf trialFaults, c cell) TrialReport {
+func (s *Spec) extract(m *sim.Machine, states []*entryState, att *probe.Attachment, rec *dtrace.Recorder, tf trialFaults, c cell) TrialReport {
 	rep := TrialReport{
 		Name:      c.name,
 		Cores:     c.cores,
@@ -558,6 +581,18 @@ func (s *Spec) extract(m *sim.Machine, states []*entryState, att *probe.Attachme
 				rep.Derived = map[string]float64{}
 			}
 			rep.Derived[MetricDegradedOpsPerSec] = v
+		}
+	}
+	if rec != nil {
+		_ = rec.Close() // in-memory sink: Close cannot fail
+		hr := rec.Headroom()
+		rep.Trace = &TraceReport{Summary: rec.Summary(), Headroom: hr}
+		rep.TraceData = rec.Bytes()
+		if hr.Wakes > 0 {
+			if rep.Derived == nil {
+				rep.Derived = map[string]float64{}
+			}
+			rep.Derived[MetricHeadroomPct] = hr.Pct
 		}
 	}
 	return rep

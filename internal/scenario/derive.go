@@ -44,6 +44,11 @@ const (
 	// of active fault intervals only — what the machine still delivers
 	// while degraded. Absent for storm-only plans (no degraded time).
 	MetricDegradedOpsPerSec = "degraded_ops_per_sec"
+	// MetricHeadroomPct is the oracle headroom analyzer's verdict over
+	// the trial's decision trace (requires the trace block): the
+	// percentage of modeled wakeup queueing a clairvoyant placer could
+	// have avoided. 0 means queue-optimal placement; lower is better.
+	MetricHeadroomPct = "headroom_pct"
 )
 
 // derivedMetrics lists the derived metric defs in stable namespace order.
@@ -52,6 +57,7 @@ var derivedMetrics = []MetricDef{
 	{Name: MetricStartupP95US, Better: Lower},
 	{Name: MetricRecoveryUS, Better: Lower},
 	{Name: MetricDegradedOpsPerSec, Better: Higher},
+	{Name: MetricHeadroomPct, Better: Lower},
 }
 
 // offlineAt reports whether core is inside any cpu_off activation at t.

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dtrace"
 	"repro/internal/probe"
 	"repro/internal/stats"
 )
@@ -63,10 +64,27 @@ type TrialReport struct {
 	// one per activation) so the recovery metrics are auditable from the
 	// report alone.
 	Faults []FaultReport `json:"faults,omitempty"`
+	// Trace summarises the trial's decision trace when the spec's trace
+	// block (or the CLI's -trace) attached a recorder.
+	Trace *TraceReport `json:"trace,omitempty"`
+	// TraceData carries the trial's encoded dtrace/v1 stream to the CLI
+	// exporters. It is deliberately excluded from the JSON report — the
+	// stream is binary and can be large — but, being a pure function of
+	// the trial, it shares the report's byte-identity across -jobs widths.
+	TraceData []byte `json:"-"`
 	// Error is set — and every other section absent — when the trial
 	// panicked: the recovered panic value's message only, never the stack
 	// (stacks carry host-nondeterministic addresses).
 	Error string `json:"error,omitempty"`
+}
+
+// TraceReport summarises one trial's decision trace: the recorder's
+// counters plus the oracle headroom analyzer's verdict. The headroom Pct
+// also lands in Derived[MetricHeadroomPct] (battle metric namespace) when
+// any wake decisions were analyzed.
+type TraceReport struct {
+	Summary  dtrace.Summary  `json:"summary"`
+	Headroom dtrace.Headroom `json:"headroom"`
 }
 
 // FaultReport is one resolved fault activation: [at_us, end_us) is its
@@ -167,6 +185,28 @@ func (r *Report) SeriesCSV() []byte {
 		}
 	}
 	return b.Bytes()
+}
+
+// TraceCSV renders every trial's decision trace as one CSV document
+// ("trial," + the dtrace CSV columns; trial then record order) — the
+// `schedbattle -scenario ... -trace-csv out.csv` export. Like SeriesCSV
+// it is a pure function of the report, so it inherits the report's
+// byte-identity across -jobs widths. Trials without traces contribute no
+// rows; a traceless report yields just the header line.
+func (r *Report) TraceCSV() ([]byte, error) {
+	out := append([]byte("trial,"+dtrace.CSVHeader), '\n')
+	for i := range r.Trials {
+		tr := &r.Trials[i]
+		if len(tr.TraceData) == 0 {
+			continue
+		}
+		dec, err := dtrace.Decode(tr.TraceData)
+		if err != nil {
+			return nil, fmt.Errorf("trial %s: decoding trace: %w", tr.Name, err)
+		}
+		out = dec.AppendCSV(out, tr.Name)
+	}
+	return out, nil
 }
 
 // ExperimentsReport is the structured form of registered-experiment output

@@ -55,6 +55,12 @@ type Spec struct {
 	// the window as it scales. With a runq series attached, the report
 	// gains recovery_us and degraded_ops_per_sec derived metrics.
 	Faults []FaultSpec `json:"faults,omitempty"`
+	// Trace attaches a decision-trace recorder (internal/dtrace) to every
+	// trial: per-pick/wake/migrate/steal records in the columnar dtrace/v1
+	// format (exported by the CLI's -trace/-trace-csv), a trace summary in
+	// the report, and the oracle headroom analyzer's headroom_pct derived
+	// metric.
+	Trace *TraceSpec `json:"trace,omitempty"`
 
 	// resolved is filled by Validate: scheduler entries with "*" expanded
 	// and parameter overrides decoded. Once validated is set the slice is
@@ -126,6 +132,31 @@ type SeriesSpec struct {
 	// Capacity bounds each series' retained points (default 512, max
 	// 65536); on overflow a series halves its resolution deterministically.
 	Capacity int `json:"capacity,omitempty"`
+}
+
+// TraceSpec is the scenario's decision-trace block. All fields are
+// optional; the zero value records every decision with all columns into a
+// 32 MiB-capped stream per trial and analyzes headroom at the default
+// window. Field semantics and bounds mirror dtrace.Options.
+type TraceSpec struct {
+	// Sample records every Sample-th decision of each kind (default 1 =
+	// every decision).
+	Sample int `json:"sample,omitempty"`
+	// Window is the headroom analyzer's search window in wake decisions
+	// (default 8, max 16).
+	Window int `json:"window,omitempty"`
+	// Branch is the headroom search's per-decision branching (default 4,
+	// max 8).
+	Branch int `json:"branch,omitempty"`
+	// Columns selects the optional column groups to record
+	// (dtrace.ColumnGroups: other, wait_ns, digest, cand). Omitted means
+	// all; an explicit empty list keeps only the mandatory columns —
+	// which also disables candidate sets, so offline headroom replay
+	// (though not the report's online verdict) sees no alternatives.
+	Columns []string `json:"columns,omitempty"`
+	// MaxBytes caps each trial's encoded trace (default 32 MiB); chunks
+	// past the cap are dropped whole and counted in the trace summary.
+	MaxBytes int64 `json:"maxBytes,omitempty"`
 }
 
 // FaultSpec is one declarative perturbation line (see internal/fault for

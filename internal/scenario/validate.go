@@ -10,6 +10,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/cfs"
 	"repro/internal/core"
+	"repro/internal/dtrace"
 	"repro/internal/probe"
 	"repro/internal/ule"
 	"repro/internal/workload"
@@ -194,6 +195,12 @@ func (s *Spec) Validate() error {
 			return err
 		}
 	}
+
+	if s.Trace != nil {
+		if err := s.Trace.validate("trace"); err != nil {
+			return err
+		}
+	}
 	s.validated = true
 	return nil
 }
@@ -342,6 +349,45 @@ func (ss *SeriesSpec) validate(pos string) error {
 	}
 	if ss.Capacity < 0 || ss.Capacity > maxSeriesCapacity {
 		return verr(pos+".capacity", "capacity %d out of range [1, %d]", ss.Capacity, maxSeriesCapacity)
+	}
+	return nil
+}
+
+// validate checks the decision-trace block. Bounds mirror the ranges
+// dtrace.Options enforces at Attach, so a validated spec's recorder
+// always attaches; column groups get the same did-you-mean treatment as
+// probe names.
+func (ts *TraceSpec) validate(pos string) error {
+	if ts.Sample < 0 || ts.Sample > 1_000_000 {
+		return verr(pos+".sample", "sample %d out of range [1, 1000000]", ts.Sample)
+	}
+	if ts.Window < 0 || ts.Window > dtrace.MaxWindow {
+		return verr(pos+".window", "window %d out of range [1, %d]", ts.Window, dtrace.MaxWindow)
+	}
+	if ts.Branch < 0 || ts.Branch > dtrace.MaxBranch {
+		return verr(pos+".branch", "branch %d out of range [1, %d]", ts.Branch, dtrace.MaxBranch)
+	}
+	if ts.MaxBytes < 0 || (ts.MaxBytes > 0 && ts.MaxBytes < 4096) {
+		return verr(pos+".maxBytes", "maxBytes %d too small (min 4096)", ts.MaxBytes)
+	}
+	known := dtrace.ColumnGroups()
+	seen := map[string]bool{}
+	for i, name := range ts.Columns {
+		ok := false
+		for _, k := range known {
+			if name == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return verr(fmt.Sprintf("%s.columns[%d]", pos, i), "unknown column group %q%s (known: %s)",
+				name, suggest(name, known), strings.Join(known, ", "))
+		}
+		if seen[name] {
+			return verr(fmt.Sprintf("%s.columns[%d]", pos, i), "column group %q listed twice", name)
+		}
+		seen[name] = true
 	}
 	return nil
 }

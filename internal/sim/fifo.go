@@ -220,6 +220,17 @@ func (f *FIFO) IdleBalance(c *Core) bool {
 // NrRunnable implements Scheduler.
 func (f *FIFO) NrRunnable(c *Core) int { return f.rqs[c.ID].load }
 
+// ExplainPick implements PickExplainer: the candidate view is the FIFO
+// queue itself, keyed by queue position (0 = next to run).
+func (f *FIFO) ExplainPick(c *Core, buf []PickCandidate) []PickCandidate {
+	buf = buf[:0]
+	rq := &f.rqs[c.ID]
+	for i, t := range rq.queue[rq.head:] {
+		buf = append(buf, PickCandidate{TID: int32(t.ID), Key: int64(i)})
+	}
+	return buf
+}
+
 // CoreOffline implements Hotplugger: migrate every queued thread to the
 // least-loaded online core (SelectCore filters offline cores through
 // CanRunOn).
@@ -241,3 +252,4 @@ func (f *FIFO) CoreOnline(c *Core) {}
 
 var _ Scheduler = (*FIFO)(nil)
 var _ Hotplugger = (*FIFO)(nil)
+var _ PickExplainer = (*FIFO)(nil)

@@ -12,7 +12,18 @@ package sim
 //   - steal:    an idle core stole a thread from a victim (reported by
 //     the scheduler via TraceSteal; the accompanying Migrate also fires);
 //   - tick:     a scheduler tick fired on a core (after token
-//     validation, i.e. only ticks that actually run).
+//     validation, i.e. only ticks that actually run);
+//   - pick:     a core's PickNext chose a thread — the decision point of
+//     pick_next_task/sched_choose. Fires after the engine validated the
+//     pick, before the thread starts running; never on an offline core.
+//     At this instant the chosen thread has been removed from the
+//     scheduler's queue structures, so a PickExplainer snapshot taken
+//     inside the hook shows the residual candidates it beat;
+//   - wake:     a wakeup placement decision — SelectCore chose target for
+//     a thread waking from sleep/block (select_task_rq/sched_pickcpu).
+//     Fires before the wakeup's enqueue (and before any enqueue/dispatch
+//     hooks it triggers); origin is the core the wake happened on, nil
+//     for timer wakeups. Fork placements do not fire it.
 //
 // Contract: hooks are pure observers. They run inside the engine's
 // dispatch path and MUST NOT mutate simulation state (no thread starts,
@@ -29,6 +40,8 @@ type hooks struct {
 	migrate  []func(from, to *Core, t *Thread)
 	steal    []func(c, victim *Core, t *Thread)
 	tick     []func(c *Core)
+	pick     []func(c *Core, t *Thread)
+	wake     []func(target, origin *Core, t *Thread)
 }
 
 // ensureHooks lazily allocates the hook table: machines that never attach
@@ -68,4 +81,44 @@ func (m *Machine) OnSteal(fn func(c, victim *Core, t *Thread)) {
 func (m *Machine) OnTick(fn func(c *Core)) {
 	h := m.ensureHooks()
 	h.tick = append(h.tick, fn)
+}
+
+// OnPick registers an observer for pick decisions: c chose t to run next.
+func (m *Machine) OnPick(fn func(c *Core, t *Thread)) {
+	h := m.ensureHooks()
+	h.pick = append(h.pick, fn)
+}
+
+// OnWake registers an observer for wakeup placement decisions: SelectCore
+// chose target for t waking on origin (nil for timer wakeups).
+func (m *Machine) OnWake(fn func(target, origin *Core, t *Thread)) {
+	h := m.ensureHooks()
+	h.wake = append(h.wake, fn)
+}
+
+// PickCandidate is one entry of a scheduler's candidate view of a core:
+// a runnable thread it accounts on that core's queue structures, tagged
+// with the scheduler's own ordering key (CFS: vruntime; ULE: priority;
+// FIFO: queue position). Lower keys sort earlier in the scheduler's own
+// preference order, but Explain order is the scheduler's natural queue
+// iteration, not key-sorted.
+type PickCandidate struct {
+	TID int32 // thread id
+	Key int64 // scheduler-specific ordering key
+}
+
+// PickExplainer is an optional Scheduler capability: schedulers that can
+// expose their per-core candidate view implement it so trace recorders
+// can capture what a pick decision chose between. ExplainPick appends c's
+// queued candidates to buf[:0] and returns it (the engine-convention
+// reuse-the-buffer contract; implementations must not retain buf).
+//
+// Contract: pure observer — must not mutate scheduler or engine state.
+// The iteration order must be deterministic for a given queue state.
+// Called from inside an OnPick hook, the just-picked thread has already
+// been removed from queue structures; implementations that track the
+// running thread in a side list (CFS) may still include it — consumers
+// that want only the beaten candidates filter the chosen TID.
+type PickExplainer interface {
+	ExplainPick(c *Core, buf []PickCandidate) []PickCandidate
 }

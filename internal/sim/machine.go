@@ -473,6 +473,11 @@ func (m *Machine) Wake(t *Thread) {
 		t.pendingPenalty += m.Cost.MigrationPenalty
 	}
 	m.Trace.Record(trace.Event{At: m.now, Kind: trace.Wakeup, Core: target.ID, OtherCore: coreID(origin), Thread: t.ID})
+	if m.hooks != nil {
+		for _, fn := range m.hooks.wake {
+			fn(target, origin, t)
+		}
+	}
 	m.enqueueRunnable(target, t, FlagWakeup)
 }
 
@@ -678,6 +683,11 @@ func (m *Machine) dispatch(c *Core) {
 		}
 		if t.state != StateRunnable || t.core != c {
 			panic(fmt.Sprintf("sim: PickNext returned %v (state %v, core %v) on core %d", t, t.state, coreID(t.core), c.ID))
+		}
+		if m.hooks != nil && !c.offline {
+			for _, fn := range m.hooks.pick {
+				fn(c, t)
+			}
 		}
 		m.start(c, t)
 		return

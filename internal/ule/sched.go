@@ -425,4 +425,22 @@ func (s *Sched) lowestPri(id int) int {
 	return best
 }
 
+// ExplainPick implements sim.PickExplainer: the queued candidates on c —
+// realtime FIFO band first (sched_choose's order), then the timeshare
+// calendar in rotation order — keyed by each thread's scaled priority
+// (lower = better). The running thread is not queued and does not appear.
+func (s *Sched) ExplainPick(c *sim.Core, buf []sim.PickCandidate) []sim.PickCandidate {
+	buf = buf[:0]
+	q := &s.tdqs[c.ID]
+	add := func(e *runq.Entry) bool {
+		t := e.Payload.(*sim.Thread)
+		buf = append(buf, sim.PickCandidate{TID: int32(t.ID), Key: int64(s.td(t).pri)})
+		return true
+	}
+	q.realtime.Each(add)
+	q.timeshare.Each(add)
+	return buf
+}
+
 var _ sim.Scheduler = (*Sched)(nil)
+var _ sim.PickExplainer = (*Sched)(nil)
