@@ -53,6 +53,8 @@ func main() {
 		scen       = flag.String("scenario", "", "run a scenario: bundled name or path to a .json spec")
 		traceDir   = flag.String("trace", "", "with -scenario: directory for per-trial dtrace/v1 decision-trace files (enables tracing even when the spec has no trace block)")
 		traceCSV   = flag.String("trace-csv", "", "with -scenario: path for the decision-trace CSV debug rendering (same enabling rule as -trace)")
+		tlDir      = flag.String("timeline", "", "with -scenario: directory for per-trial Perfetto .trace.json timeline exports (enables the timeline even when the spec has no timeline block)")
+		timehist   = flag.Bool("timehist", false, "with -scenario: print a perf-sched-timehist-style per-slice table to stderr (same enabling rule as -timeline)")
 		scenList   = flag.Bool("scenarios", false, "list bundled scenarios and exit")
 		battleArg  = flag.String("battle", "", "battle scenarios (comma-separated names/paths, or \"all\"): multi-seed replication, CIs, win/loss/tie matrix")
 		reps       = flag.Int("replications", 5, "battle seed-replication count per scheduler")
@@ -144,7 +146,11 @@ func main() {
 	}
 
 	if *scen != "" {
-		if err := runScenario(*scen, *scale, *out, *seriesDir, *traceDir, *traceCSV); err != nil {
+		if err := runScenario(*scen, *scale, scenarioOutputs{
+			out: *out, series: *seriesDir,
+			traceDir: *traceDir, traceCSV: *traceCSV,
+			timelineDir: *tlDir, timehist: *timehist,
+		}); err != nil {
 			fmt.Fprintf(os.Stderr, "schedbattle: %v\n", err)
 			os.Exit(1)
 		}

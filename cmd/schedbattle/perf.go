@@ -27,17 +27,20 @@ import (
 	"repro/internal/dtrace"
 	"repro/internal/probe"
 	"repro/internal/sim"
+	"repro/internal/timeline"
 )
 
 // perfScenario is one timed simulation: a machine builder plus the
 // simulated window to drive it through. traced scenarios additionally
 // attach a full decision-trace recorder draining to io.Discard, pricing
-// the dtrace layer against its untraced twin.
+// the dtrace layer against its untraced twin; timelined scenarios attach
+// the thread-state flight recorder the same way.
 type perfScenario struct {
-	name   string
-	window time.Duration
-	build  func() *sim.Machine
-	traced bool
+	name      string
+	window    time.Duration
+	build     func() *sim.Machine
+	traced    bool
+	timelined bool
 }
 
 // perfResult is one timed scenario row of a trajectory entry. Decisions
@@ -52,6 +55,9 @@ type perfResult struct {
 	SimPerWall      float64 `json:"sim_seconds_per_wall_second"`
 	Decisions       uint64  `json:"decisions,omitempty"`
 	DecisionsPerSec float64 `json:"decisions_per_sec,omitempty"`
+	// TimelineSlices is present for timelined scenarios only: running
+	// slices the flight recorder closed during the run.
+	TimelineSlices uint64 `json:"timeline_slices,omitempty"`
 }
 
 // perfEntry is one harness run in the trajectory: a label (normally the
@@ -117,6 +123,7 @@ func perfScenarios() []perfScenario {
 		{name: "sysbench-ule-32", window: apps.ShellWarmup + 3*time.Second, build: server(core.ULE, false)},
 		{name: "sysbench-ule-32-probed", window: apps.ShellWarmup + 3*time.Second, build: server(core.ULE, true)},
 		{name: "sysbench-ule-32-traced", window: apps.ShellWarmup + 3*time.Second, build: server(core.ULE, false), traced: true},
+		{name: "sysbench-ule-32-timelined", window: apps.ShellWarmup + 3*time.Second, build: server(core.ULE, false), timelined: true},
 		{name: "sysbench-cfs-32", window: apps.ShellWarmup + 3*time.Second, build: server(core.CFS, false)},
 		{name: "idle-ule-32", window: 10 * time.Second, build: func() *sim.Machine {
 			return core.NewMachine(core.MachineConfig{Cores: 32, Kind: core.ULE, Seed: 13})
@@ -140,12 +147,14 @@ func timeScenarios(iters int) []perfResult {
 		{
 			m := sc.build()
 			perfAttachTrace(&sc, m)
+			perfAttachTimeline(&sc, m)
 			m.Run(sc.window)
 		}
 		var best perfResult
 		for it := 0; it < iters; it++ {
 			m := sc.build()
 			rec := perfAttachTrace(&sc, m)
+			tlrec := perfAttachTimeline(&sc, m)
 			start := time.Now()
 			m.Run(sc.window)
 			wall := time.Since(start).Seconds()
@@ -165,6 +174,10 @@ func timeScenarios(iters int) []perfResult {
 				if wall > 0 {
 					r.DecisionsPerSec = float64(r.Decisions) / wall
 				}
+			}
+			if tlrec != nil {
+				tlrec.Close()
+				r.TimelineSlices = tlrec.Summary().Slices
 			}
 			if it == 0 || r.EventsPerSec > best.EventsPerSec {
 				best = r
@@ -190,6 +203,21 @@ func perfAttachTrace(sc *perfScenario, m *sim.Machine) *dtrace.Recorder {
 		return nil
 	}
 	rec, err := dtrace.Attach(m, dtrace.Options{Sink: io.Discard, MaxBytes: 1 << 40})
+	if err != nil {
+		panic(err) // static options
+	}
+	return rec
+}
+
+// perfAttachTimeline attaches the thread-state flight recorder (default
+// options — the realistic 32 MiB event budget) to timelined scenarios;
+// nil otherwise. The off/on delta against sysbench-ule-32 prices the
+// timeline layer.
+func perfAttachTimeline(sc *perfScenario, m *sim.Machine) *timeline.Recorder {
+	if !sc.timelined {
+		return nil
+	}
+	rec, err := timeline.Attach(m, timeline.Options{})
 	if err != nil {
 		panic(err) // static options
 	}

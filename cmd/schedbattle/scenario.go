@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/scenario"
+	"repro/internal/timeline"
 )
 
 // listScenarios prints the bundled library: id, grid size, and the spec's
@@ -34,24 +35,62 @@ func listScenarios() error {
 	return nil
 }
 
+// scenarioOutputs bundles the -scenario export destinations. Every file
+// and directory path gets mkdir -p semantics: missing parents are created
+// rather than failing the run after the grid already executed.
+type scenarioOutputs struct {
+	// out receives the JSON report ("" or "-" = stdout).
+	out string
+	// series receives the probe-series CSV export.
+	series string
+	// traceDir receives one dtrace/v1 file per trial; traceCSV the flat
+	// CSV rendering. Either enables tracing with default options when the
+	// spec has no trace block.
+	traceDir, traceCSV string
+	// timelineDir receives one Perfetto .trace.json per trial; timehist
+	// renders the per-slice table to stderr. Either enables the timeline
+	// with default options when the spec has no timeline block.
+	timelineDir string
+	timehist    bool
+}
+
+// ensureParentDir creates path's missing parent directories (mkdir -p),
+// so nested export destinations like out/run3/series.csv just work.
+func ensureParentDir(path string) error {
+	dir := filepath.Dir(path)
+	if dir == "" || dir == "." {
+		return nil
+	}
+	return os.MkdirAll(dir, 0o755)
+}
+
+// writeFileP is os.WriteFile with mkdir -p on the parent.
+func writeFileP(path string, data []byte) error {
+	if err := ensureParentDir(path); err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
 // runScenario loads, runs, and reports one scenario. The report goes to
-// outPath ("" or "-" = stdout); a one-line summary per trial goes to
-// stderr so a redirected stdout stays pure JSON. seriesPath, when set,
-// receives the probe-series CSV export (header-only when the spec has no
-// series block). traceDir receives one dtrace/v1 file per trial and
-// traceCSV the flat CSV rendering; either one enables tracing with
-// default options when the spec has no trace block. Every export failure
+// o.out ("" or "-" = stdout); a one-line summary per trial goes to
+// stderr so a redirected stdout stays pure JSON. Every export failure
 // names the path it could not write and fails the run.
-func runScenario(nameOrPath string, scale float64, outPath, seriesPath, traceDir, traceCSV string) error {
+func runScenario(nameOrPath string, scale float64, o scenarioOutputs) error {
 	sp, err := scenario.Load(nameOrPath)
 	if err != nil {
 		return err
 	}
-	if (traceDir != "" || traceCSV != "") && sp.Trace == nil {
+	if (o.traceDir != "" || o.traceCSV != "") && sp.Trace == nil {
 		// Bundled specs are shared read-only; clone before enabling the
 		// default trace block for this invocation.
 		cp := *sp
 		cp.Trace = &scenario.TraceSpec{}
+		sp = &cp
+	}
+	if (o.timelineDir != "" || o.timehist) && sp.Timeline == nil {
+		cp := *sp
+		cp.Timeline = &scenario.TimelineSpec{}
 		sp = &cp
 	}
 	rep, err := sp.Run(scale)
@@ -86,37 +125,55 @@ func runScenario(nameOrPath string, scale float64, outPath, seriesPath, traceDir
 		if v, ok := tr.Derived[scenario.MetricHeadroomPct]; ok {
 			line += fmt.Sprintf("  headroom=%.3g%%", v)
 		}
+		if v, ok := tr.Derived[scenario.MetricSchedLatencyP99US]; ok {
+			line += fmt.Sprintf("  slat99=%.4gus", v)
+		}
 		fmt.Fprintln(os.Stderr, line)
 	}
-	if err := scenario.WriteReport(outPath, rep); err != nil {
-		if outPath == "" || outPath == "-" {
+	if o.out != "" && o.out != "-" {
+		if err := ensureParentDir(o.out); err != nil {
+			return fmt.Errorf("creating report directory for %s: %w", o.out, err)
+		}
+	}
+	if err := scenario.WriteReport(o.out, rep); err != nil {
+		if o.out == "" || o.out == "-" {
 			return fmt.Errorf("writing report to stdout: %w", err)
 		}
-		return fmt.Errorf("writing report %s: %w", outPath, err)
+		return fmt.Errorf("writing report %s: %w", o.out, err)
 	}
-	if outPath != "" && outPath != "-" {
-		fmt.Fprintf(os.Stderr, "schedbattle: wrote %s\n", outPath)
+	if o.out != "" && o.out != "-" {
+		fmt.Fprintf(os.Stderr, "schedbattle: wrote %s\n", o.out)
 	}
-	if seriesPath != "" {
-		if err := os.WriteFile(seriesPath, rep.SeriesCSV(), 0o644); err != nil {
-			return fmt.Errorf("writing series CSV %s: %w", seriesPath, err)
+	if o.series != "" {
+		if err := writeFileP(o.series, rep.SeriesCSV()); err != nil {
+			return fmt.Errorf("writing series CSV %s: %w", o.series, err)
 		}
-		fmt.Fprintf(os.Stderr, "schedbattle: wrote %s\n", seriesPath)
+		fmt.Fprintf(os.Stderr, "schedbattle: wrote %s\n", o.series)
 	}
-	if traceDir != "" {
-		if err := writeTraces(traceDir, rep); err != nil {
+	if o.traceDir != "" {
+		if err := writeTraces(o.traceDir, rep); err != nil {
 			return err
 		}
 	}
-	if traceCSV != "" {
+	if o.traceCSV != "" {
 		csv, err := rep.TraceCSV()
 		if err != nil {
 			return fmt.Errorf("rendering trace CSV: %w", err)
 		}
-		if err := os.WriteFile(traceCSV, csv, 0o644); err != nil {
-			return fmt.Errorf("writing trace CSV %s: %w", traceCSV, err)
+		if err := writeFileP(o.traceCSV, csv); err != nil {
+			return fmt.Errorf("writing trace CSV %s: %w", o.traceCSV, err)
 		}
-		fmt.Fprintf(os.Stderr, "schedbattle: wrote %s\n", traceCSV)
+		fmt.Fprintf(os.Stderr, "schedbattle: wrote %s\n", o.traceCSV)
+	}
+	if o.timelineDir != "" {
+		if err := writeTimelines(o.timelineDir, rep); err != nil {
+			return err
+		}
+	}
+	if o.timehist {
+		if err := renderTimehist(os.Stderr, rep); err != nil {
+			return err
+		}
 	}
 	if fails != nil {
 		// Stacks go to stderr only — they carry host addresses and must
@@ -150,5 +207,55 @@ func writeTraces(dir string, rep *scenario.Report) error {
 		n++
 	}
 	fmt.Fprintf(os.Stderr, "schedbattle: wrote %d trace file(s) to %s\n", n, dir)
+	return nil
+}
+
+// writeTimelines dumps every trial's Perfetto trace-event JSON as
+// "<dir>/<trial>.trace.json" (same name flattening as writeTraces), each
+// loadable at ui.perfetto.dev. Trials without timeline data are skipped.
+func writeTimelines(dir string, rep *scenario.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating timeline directory %s: %w", dir, err)
+	}
+	n := 0
+	for i := range rep.Trials {
+		tr := &rep.Trials[i]
+		if len(tr.TimelineData) == 0 {
+			continue
+		}
+		path := filepath.Join(dir, strings.ReplaceAll(tr.Name, "/", "_")+".trace.json")
+		if err := os.WriteFile(path, tr.TimelineData, 0o644); err != nil {
+			return fmt.Errorf("writing timeline %s: %w", path, err)
+		}
+		n++
+	}
+	fmt.Fprintf(os.Stderr, "schedbattle: wrote %d timeline file(s) to %s\n", n, dir)
+	return nil
+}
+
+// timehist render bounds: enough rows to read a trial's shape without
+// flooding a terminal when the grid is large.
+const (
+	timehistMaxRows = 40
+	timehistTopN    = 10
+)
+
+// renderTimehist prints a perf-sched-timehist-style table per trial,
+// decoded from the same bytes -timeline exports.
+func renderTimehist(w *os.File, rep *scenario.Report) error {
+	for i := range rep.Trials {
+		tr := &rep.Trials[i]
+		if len(tr.TimelineData) == 0 {
+			continue
+		}
+		dec, err := timeline.DecodeTrace(tr.TimelineData)
+		if err != nil {
+			return fmt.Errorf("trial %s: decoding timeline: %w", tr.Name, err)
+		}
+		fmt.Fprintf(w, "\n=== timehist %s ===\n", tr.Name)
+		if err := dec.Timehist(w, timehistMaxRows, timehistTopN); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/timeline"
+)
+
+// testSpec is a tiny two-core scenario exercising every export: series,
+// trace, and timeline.
+const testSpec = `{
+  "name": "cli-test",
+  "machine": {"cores": [2]},
+  "schedulers": [{"kind": "cfs"}],
+  "window": "300ms",
+  "workload": [
+    {"name": "spin", "loop": {"burst": "1ms"}, "count": 2},
+    {"name": "web", "openloop": {"workers": 2, "rate": 300, "service": "100us"}}
+  ],
+  "series": {"probes": ["runq"]},
+  "trace": {},
+  "timeline": {}
+}`
+
+// TestRunScenarioCreatesParentDirs: every -out/-series/-trace/-trace-csv/
+// -timeline destination gets mkdir -p semantics — deeply nested paths
+// that do not exist yet must not fail the run after the grid executed.
+func TestRunScenarioCreatesParentDirs(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "cli-test.json")
+	if err := os.WriteFile(spec, []byte(testSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := scenarioOutputs{
+		out:         filepath.Join(dir, "a/b/report.json"),
+		series:      filepath.Join(dir, "c/d/series.csv"),
+		traceDir:    filepath.Join(dir, "e/f/traces"),
+		traceCSV:    filepath.Join(dir, "g/h/trace.csv"),
+		timelineDir: filepath.Join(dir, "i/j/timelines"),
+	}
+	if err := runScenario(spec, 1, o); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{o.out, o.series, o.traceCSV} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("export %s missing: %v", p, err)
+		}
+	}
+	for _, d := range []string{o.traceDir, o.timelineDir} {
+		ents, err := os.ReadDir(d)
+		if err != nil {
+			t.Fatalf("export dir %s missing: %v", d, err)
+		}
+		if len(ents) == 0 {
+			t.Errorf("export dir %s is empty", d)
+		}
+	}
+
+	// The timeline export is the Perfetto JSON the recorder rendered:
+	// decodable, schema-stamped, flattened trial name with .trace.json.
+	ents, _ := os.ReadDir(o.timelineDir)
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".trace.json") || strings.Contains(e.Name(), "/") {
+			t.Fatalf("unexpected timeline file name %q", e.Name())
+		}
+		data, err := os.ReadFile(filepath.Join(o.timelineDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := timeline.DecodeTrace(data)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if tr.OtherData.Schema != timeline.SchemaName {
+			t.Fatalf("%s: schema = %q", e.Name(), tr.OtherData.Schema)
+		}
+	}
+}
+
+// TestRunScenarioTimehistOnly: -timehist without -timeline enables the
+// recorder with default options (the same enabling rule as -trace).
+func TestRunScenarioTimehistOnly(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "plain.json")
+	// No timeline block at all — the flag must enable it.
+	plain := strings.Replace(testSpec, `"timeline": {}`, `"timeline": null`, 1)
+	if err := os.WriteFile(spec, []byte(plain), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := scenarioOutputs{
+		out:         filepath.Join(dir, "report.json"),
+		timelineDir: filepath.Join(dir, "tl"),
+	}
+	if err := runScenario(spec, 1, o); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(o.timelineDir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("-timeline did not enable the recorder: %v (%d files)", err, len(ents))
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/timeline"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -152,6 +153,17 @@ func (ts *TraceSpec) options() dtrace.Options {
 	}
 }
 
+// options converts the spec's timeline block into recorder options. Like
+// the trace recorder, the timeline buffers in memory: the rendered
+// Perfetto bytes ride the TrialReport into the CLI exporters.
+func (tl *TimelineSpec) options() timeline.Options {
+	return timeline.Options{
+		Classes:  tl.Classes,
+		MaxBytes: tl.MaxBytes,
+		Tracks:   tl.Perfetto,
+	}
+}
+
 // seriesCadence resolves the effective sampling period of the series
 // block at the trial's scale.
 func (ss *SeriesSpec) seriesCadence(scale float64) time.Duration {
@@ -214,6 +226,7 @@ func (s *Spec) buildTrial(cores int, rs resolvedSched, scale float64, seed int64
 	states := make([]*entryState, len(s.Workload))
 	var att *probe.Attachment
 	var rec *dtrace.Recorder
+	var tlrec *timeline.Recorder
 	plan := s.faultPlan(window)
 	var occs []fault.Occurrence
 	if plan != nil {
@@ -251,6 +264,13 @@ func (s *Spec) buildTrial(cores int, rs resolvedSched, scale float64, seed int64
 					panic(err) // bounds validated upstream
 				}
 			}
+			if s.Timeline != nil {
+				var err error
+				tlrec, err = timeline.Attach(m, s.Timeline.options())
+				if err != nil {
+					panic(err) // track names validated upstream
+				}
+			}
 			if plan != nil {
 				// Faults install last: a probe sample landing exactly on a
 				// fault instant deterministically sees the pre-fault state.
@@ -259,7 +279,7 @@ func (s *Spec) buildTrial(cores int, rs resolvedSched, scale float64, seed int64
 			}
 		},
 		Extract: func(m *sim.Machine) TrialReport {
-			return s.extract(m, states, att, rec, trialFaults{occs: occs, deg: deg}, cell{
+			return s.extract(m, states, att, rec, tlrec, trialFaults{occs: occs, deg: deg}, cell{
 				name:  name,
 				cores: cores, kind: rs.kind, scale: scale, seed: seed, window: window,
 			})
@@ -490,7 +510,7 @@ type cell struct {
 // spec's metric selection. Everything read here is deterministic state of
 // the (single-threaded, seeded) simulation, so reports are byte-identical
 // however the surrounding grid was scheduled.
-func (s *Spec) extract(m *sim.Machine, states []*entryState, att *probe.Attachment, rec *dtrace.Recorder, tf trialFaults, c cell) TrialReport {
+func (s *Spec) extract(m *sim.Machine, states []*entryState, att *probe.Attachment, rec *dtrace.Recorder, tlrec *timeline.Recorder, tf trialFaults, c cell) TrialReport {
 	rep := TrialReport{
 		Name:      c.name,
 		Cores:     c.cores,
@@ -593,6 +613,34 @@ func (s *Spec) extract(m *sim.Machine, states []*entryState, att *probe.Attachme
 				rep.Derived = map[string]float64{}
 			}
 			rep.Derived[MetricHeadroomPct] = hr.Pct
+		}
+	}
+	if tlrec != nil {
+		tlrec.Close()
+		sum := tlrec.Summary()
+		rep.Timeline = &TimelineReport{
+			Summary: sum,
+			Classes: tlrec.Classes(),
+			Worst:   tlrec.Worst(),
+		}
+		// Replay the trial's probe series as Perfetto counter tracks; the
+		// export gates them on the spec's track selection.
+		var counters []timeline.CounterTrack
+		for i := range rep.Series {
+			sr := &rep.Series[i]
+			counters = append(counters, timeline.CounterTrack{Name: sr.Name, Points: sr.Points})
+		}
+		rep.TimelineData = tlrec.AppendPerfetto(nil, counters)
+		if sum.SpanNS > 0 {
+			if rep.Derived == nil {
+				rep.Derived = map[string]float64{}
+			}
+			rep.Derived[MetricRunFrac] = sum.RunFrac
+			rep.Derived[MetricWaitFrac] = sum.WaitFrac
+			rep.Derived[MetricSleepFrac] = sum.SleepFrac
+			if sum.Wakeups > 0 {
+				rep.Derived[MetricSchedLatencyP99US] = sum.LatencyP99US
+			}
 		}
 	}
 	return rep

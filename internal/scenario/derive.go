@@ -49,6 +49,23 @@ const (
 	// percentage of modeled wakeup queueing a clairvoyant placer could
 	// have avoided. 0 means queue-optimal placement; lower is better.
 	MetricHeadroomPct = "headroom_pct"
+	// MetricSchedLatencyP99US is the p99 wakeup→dispatch latency (µs)
+	// over every recorded wakeup of the trial (requires the timeline
+	// block) — the per-wakeup tail the paper's latency-sensitive
+	// workloads feel directly.
+	MetricSchedLatencyP99US = "sched_latency_p99_us"
+	// MetricRunFrac is the fraction of aggregate thread lifetime spent
+	// on-CPU (timeline block). Higher means more of the offered work
+	// actually ran.
+	MetricRunFrac = "run_frac"
+	// MetricWaitFrac is the fraction of aggregate thread lifetime spent
+	// runnable-but-waiting (timeline block) — the scheduler-induced
+	// queueing share. Lower is better.
+	MetricWaitFrac = "wait_frac"
+	// MetricSleepFrac is the fraction of aggregate thread lifetime spent
+	// voluntarily sleeping/blocked (timeline block). Under a fixed
+	// offered load, more sleep means requests finished sooner.
+	MetricSleepFrac = "sleep_frac"
 )
 
 // derivedMetrics lists the derived metric defs in stable namespace order.
@@ -58,6 +75,10 @@ var derivedMetrics = []MetricDef{
 	{Name: MetricRecoveryUS, Better: Lower},
 	{Name: MetricDegradedOpsPerSec, Better: Higher},
 	{Name: MetricHeadroomPct, Better: Lower},
+	{Name: MetricSchedLatencyP99US, Better: Lower},
+	{Name: MetricRunFrac, Better: Higher},
+	{Name: MetricWaitFrac, Better: Lower},
+	{Name: MetricSleepFrac, Better: Higher},
 }
 
 // offlineAt reports whether core is inside any cpu_off activation at t.

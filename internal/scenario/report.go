@@ -13,6 +13,7 @@ import (
 	"repro/internal/dtrace"
 	"repro/internal/probe"
 	"repro/internal/stats"
+	"repro/internal/timeline"
 )
 
 // ReportSchema versions the scenario report format.
@@ -72,6 +73,14 @@ type TrialReport struct {
 	// stream is binary and can be large — but, being a pure function of
 	// the trial, it shares the report's byte-identity across -jobs widths.
 	TraceData []byte `json:"-"`
+	// Timeline summarises the trial's thread-state timeline when the
+	// spec's timeline block (or the CLI's -timeline/-timehist) attached a
+	// flight recorder.
+	Timeline *TimelineReport `json:"timeline,omitempty"`
+	// TimelineData carries the trial's rendered Perfetto trace-event JSON
+	// to the CLI exporters, out of band like TraceData: excluded from the
+	// report but byte-identical across -jobs widths.
+	TimelineData []byte `json:"-"`
 	// Error is set — and every other section absent — when the trial
 	// panicked: the recovered panic value's message only, never the stack
 	// (stacks carry host-nondeterministic addresses).
@@ -85,6 +94,17 @@ type TrialReport struct {
 type TraceReport struct {
 	Summary  dtrace.Summary  `json:"summary"`
 	Headroom dtrace.Headroom `json:"headroom"`
+}
+
+// TimelineReport summarises one trial's thread-state timeline: the
+// recorder's whole-trial summary (time-in-state fractions, dispatch
+// latency percentiles — the run_frac/wait_frac/sleep_frac and
+// sched_latency_p99_us values in Derived come from here), per-class
+// accounting, and the worst wakeup→dispatch latencies.
+type TimelineReport struct {
+	Summary timeline.Summary        `json:"summary"`
+	Classes []timeline.ClassAccount `json:"classes,omitempty"`
+	Worst   []timeline.WakeLatency  `json:"worst,omitempty"`
 }
 
 // FaultReport is one resolved fault activation: [at_us, end_us) is its

@@ -61,6 +61,12 @@ type Spec struct {
 	// the report, and the oracle headroom analyzer's headroom_pct derived
 	// metric.
 	Trace *TraceSpec `json:"trace,omitempty"`
+	// Timeline attaches a thread-state flight recorder (internal/timeline)
+	// to every trial: per-thread time-in-state accounting, per-wakeup
+	// dispatch-latency histograms (run_frac/wait_frac/sleep_frac and
+	// sched_latency_p99_us derived metrics), and a Perfetto-compatible
+	// trace-event export via the CLI's -timeline/-timehist.
+	Timeline *TimelineSpec `json:"timeline,omitempty"`
 
 	// resolved is filled by Validate: scheduler entries with "*" expanded
 	// and parameter overrides decoded. Once validated is set the slice is
@@ -157,6 +163,24 @@ type TraceSpec struct {
 	// MaxBytes caps each trial's encoded trace (default 32 MiB); chunks
 	// past the cap are dropped whole and counted in the trace summary.
 	MaxBytes int64 `json:"maxBytes,omitempty"`
+}
+
+// TimelineSpec is the scenario's thread-state timeline block. All fields
+// are optional; the zero value records every thread with all Perfetto
+// track groups into a 32 MiB-capped event buffer per trial. Field
+// semantics and bounds mirror timeline.Options.
+type TimelineSpec struct {
+	// Classes restricts recording to these thread classes (workload entry
+	// names, app labels, "kworker"). Omitted records every thread.
+	Classes []string `json:"classes,omitempty"`
+	// MaxBytes caps each trial's event buffer (default 32 MiB); events
+	// past the cap are dropped and counted in the timeline summary.
+	// Time-in-state accounting and latency histograms stay exact
+	// regardless.
+	MaxBytes int64 `json:"maxBytes,omitempty"`
+	// Perfetto selects the export's track groups (timeline.TrackGroups:
+	// slices, instants, counters). Omitted means all.
+	Perfetto []string `json:"perfetto,omitempty"`
 }
 
 // FaultSpec is one declarative perturbation line (see internal/fault for

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dtrace"
 	"repro/internal/probe"
+	"repro/internal/timeline"
 	"repro/internal/ule"
 	"repro/internal/workload"
 )
@@ -201,6 +202,11 @@ func (s *Spec) Validate() error {
 			return err
 		}
 	}
+	if s.Timeline != nil {
+		if err := s.Timeline.validate("timeline"); err != nil {
+			return err
+		}
+	}
 	s.validated = true
 	return nil
 }
@@ -386,6 +392,48 @@ func (ts *TraceSpec) validate(pos string) error {
 		}
 		if seen[name] {
 			return verr(fmt.Sprintf("%s.columns[%d]", pos, i), "column group %q listed twice", name)
+		}
+		seen[name] = true
+	}
+	return nil
+}
+
+// validate checks the thread-state timeline block. Bounds mirror what
+// timeline.Options enforces at Attach, so a validated spec's recorder
+// always attaches; Perfetto track groups get the same did-you-mean
+// treatment as probe names and trace columns. Classes are free-form
+// (workload entry names, app labels, "kworker") — only shape-checked.
+func (tl *TimelineSpec) validate(pos string) error {
+	seenClass := map[string]bool{}
+	for i, name := range tl.Classes {
+		cpos := fmt.Sprintf("%s.classes[%d]", pos, i)
+		if name == "" {
+			return verr(cpos, "class name must not be empty")
+		}
+		if seenClass[name] {
+			return verr(cpos, "class %q listed twice", name)
+		}
+		seenClass[name] = true
+	}
+	if tl.MaxBytes < 0 || (tl.MaxBytes > 0 && tl.MaxBytes < 4096) {
+		return verr(pos+".maxBytes", "maxBytes %d too small (min 4096)", tl.MaxBytes)
+	}
+	known := timeline.TrackGroups()
+	seen := map[string]bool{}
+	for i, name := range tl.Perfetto {
+		ok := false
+		for _, k := range known {
+			if name == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return verr(fmt.Sprintf("%s.perfetto[%d]", pos, i), "unknown track group %q%s (known: %s)",
+				name, suggest(name, known), strings.Join(known, ", "))
+		}
+		if seen[name] {
+			return verr(fmt.Sprintf("%s.perfetto[%d]", pos, i), "track group %q listed twice", name)
 		}
 		seen[name] = true
 	}

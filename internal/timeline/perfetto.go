@@ -1,0 +1,216 @@
+package timeline
+
+// Chrome trace-event / Perfetto JSON export of a recorded timeline, plus
+// the decoder/validator its consumers (the -timehist renderer, the golden
+// shape test, CI smoke) share. The rendering is a pure function of the
+// recorder's deterministic state, so exported files are byte-identical at
+// any -jobs width and across event engines.
+//
+// Mapping (loadable at ui.perfetto.dev):
+//   - one process (pid 0) named after the machine, one named thread track
+//     per core ("cpu0".."cpuN", sorted by core id);
+//   - "X" complete events on a core's track for every running slice, the
+//     thread name + id as the event name, args carrying tid, the wait that
+//     preceded the slice, and whether it began at a wakeup;
+//   - "i" instant events for wakeups (on the target core's track),
+//     migrations (destination track, args.from), steals (stealer track,
+//     args.victim);
+//   - "C" counter events replaying probe series handed in by the caller.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// SchemaName identifies the export in otherData.schema.
+const SchemaName = "schedbattle/timeline/v1"
+
+// CounterTrack is one counter series for the export: [t_us, value] points
+// in time order (exactly the scenario report's series shape).
+type CounterTrack struct {
+	Name   string
+	Points [][2]float64
+}
+
+// AppendPerfetto renders the timeline as trace-event JSON appended to buf.
+// counters are emitted only when the "counters" track group is selected;
+// pass nil when none apply. Valid after Close.
+func (r *Recorder) AppendPerfetto(buf []byte, counters []CounterTrack) []byte {
+	b := buf
+	b = append(b, `{"displayTimeUnit":"ms","otherData":{"schema":"`+SchemaName+`"},"traceEvents":[`...)
+	first := true
+	sep := func() {
+		if !first {
+			b = append(b, ',', '\n')
+		} else {
+			b = append(b, '\n')
+		}
+		first = false
+	}
+
+	sep()
+	b = append(b, `{"ph":"M","pid":0,"name":"process_name","args":{"name":"schedbattle"}}`...)
+	nCores := len(r.m.Cores)
+	for c := 0; c < nCores; c++ {
+		sep()
+		b = append(b, `{"ph":"M","pid":0,"tid":`...)
+		b = strconv.AppendInt(b, int64(c), 10)
+		b = append(b, `,"name":"thread_name","args":{"name":"cpu`...)
+		b = strconv.AppendInt(b, int64(c), 10)
+		b = append(b, `"}}`...)
+		sep()
+		b = append(b, `{"ph":"M","pid":0,"tid":`...)
+		b = strconv.AppendInt(b, int64(c), 10)
+		b = append(b, `,"name":"thread_sort_index","args":{"sort_index":`...)
+		b = strconv.AppendInt(b, int64(c), 10)
+		b = append(b, `}}`...)
+	}
+
+	us := func(ns int64) []byte {
+		return strconv.AppendFloat(nil, float64(ns)/1e3, 'g', -1, 64)
+	}
+	for i := range r.ev.kind {
+		sep()
+		tid := r.ev.tid[i]
+		name := ""
+		if tid >= 1 && int(tid) <= len(r.st) && r.st[tid-1].th != nil {
+			name = r.st[tid-1].th.Name
+		}
+		switch r.ev.kind[i] {
+		case evSlice:
+			b = append(b, `{"ph":"X","pid":0,"tid":`...)
+			b = strconv.AppendInt(b, int64(r.ev.core[i]), 10)
+			b = append(b, `,"ts":`...)
+			b = append(b, us(r.ev.t[i])...)
+			b = append(b, `,"dur":`...)
+			b = append(b, us(r.ev.dur[i])...)
+			b = append(b, `,"name":`...)
+			b = appendJSONString(b, fmt.Sprintf("%s T%d", name, tid))
+			b = append(b, `,"args":{"tid":`...)
+			b = strconv.AppendInt(b, int64(tid), 10)
+			b = append(b, `,"wait_us":`...)
+			b = append(b, us(r.ev.wait[i])...)
+			b = append(b, `,"from_wake":`...)
+			b = strconv.AppendBool(b, r.ev.flag[i] != 0)
+			b = append(b, `}}`...)
+		case evWake, evMigrate, evSteal:
+			kind, otherKey := "wake", "origin"
+			switch r.ev.kind[i] {
+			case evMigrate:
+				kind, otherKey = "migrate", "from"
+			case evSteal:
+				kind, otherKey = "steal", "victim"
+			}
+			b = append(b, `{"ph":"i","s":"t","pid":0,"tid":`...)
+			b = strconv.AppendInt(b, int64(r.ev.core[i]), 10)
+			b = append(b, `,"ts":`...)
+			b = append(b, us(r.ev.t[i])...)
+			b = append(b, `,"name":"`...)
+			b = append(b, kind...)
+			b = append(b, `","args":{"tid":`...)
+			b = strconv.AppendInt(b, int64(tid), 10)
+			b = append(b, `,"`...)
+			b = append(b, otherKey...)
+			b = append(b, `":`...)
+			b = strconv.AppendInt(b, int64(r.ev.other[i]), 10)
+			b = append(b, `}}`...)
+		}
+	}
+
+	if r.opts.track(TrackCounters) {
+		g := func(v float64) []byte { return strconv.AppendFloat(nil, v, 'g', -1, 64) }
+		for _, ct := range counters {
+			for _, p := range ct.Points {
+				sep()
+				b = append(b, `{"ph":"C","pid":0,"ts":`...)
+				b = append(b, g(p[0])...)
+				b = append(b, `,"name":`...)
+				b = appendJSONString(b, ct.Name)
+				b = append(b, `,"args":{"value":`...)
+				b = append(b, g(p[1])...)
+				b = append(b, `}}`...)
+			}
+		}
+	}
+	b = append(b, "\n]}\n"...)
+	return b
+}
+
+// appendJSONString appends s as a JSON string literal. ASCII control
+// characters, quotes, and backslashes are escaped; everything else passes
+// through byte-for-byte (names are UTF-8 already).
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			b = append(b, fmt.Sprintf(`\u%04x`, c)...)
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}
+
+// TraceEvent is one decoded trace event.
+type TraceEvent struct {
+	Ph    string         `json:"ph"`
+	Name  string         `json:"name"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	TsUS  float64        `json:"ts"`
+	DurUS float64        `json:"dur"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Trace is a decoded trace-event document.
+type Trace struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	OtherData       struct {
+		Schema string `json:"schema"`
+	} `json:"otherData"`
+	Events []TraceEvent `json:"traceEvents"`
+}
+
+// DecodeTrace parses and shape-checks a trace-event JSON document: the
+// envelope must carry traceEvents, and every event must have a known phase
+// with sane timestamps — the contract ui.perfetto.dev's legacy JSON
+// importer needs. This is the validator CI's timeline smoke and the golden
+// test run exports through.
+func DecodeTrace(data []byte) (*Trace, error) {
+	var tr Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("timeline: decoding trace JSON: %w", err)
+	}
+	if tr.Events == nil {
+		return nil, fmt.Errorf("timeline: trace has no traceEvents array")
+	}
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		switch e.Ph {
+		case "M":
+			if e.Name == "" {
+				return nil, fmt.Errorf("timeline: event %d: metadata event without a name", i)
+			}
+		case "X":
+			if e.Name == "" {
+				return nil, fmt.Errorf("timeline: event %d: complete event without a name", i)
+			}
+			if e.TsUS < 0 || e.DurUS < 0 {
+				return nil, fmt.Errorf("timeline: event %d: negative ts/dur", i)
+			}
+		case "i", "C":
+			if e.TsUS < 0 {
+				return nil, fmt.Errorf("timeline: event %d: negative ts", i)
+			}
+		default:
+			return nil, fmt.Errorf("timeline: event %d: unknown phase %q", i, e.Ph)
+		}
+	}
+	return &tr, nil
+}

@@ -1,0 +1,128 @@
+package timeline
+
+// The terminal timehist renderer, in the spirit of `perf sched timehist`:
+// one row per running slice with the wait that preceded it, plus a top-N
+// table of the worst wakeup→dispatch latencies. It renders from a decoded
+// trace-event document — the same bytes `-timeline` exports — so the CLI
+// needs no access to the live recorder.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// timehistRow is one rendered slice.
+type timehistRow struct {
+	endUS    float64
+	tsUS     float64
+	durUS    float64
+	waitUS   float64
+	cpu      int
+	name     string
+	fromWake bool
+}
+
+// rows extracts the slice events in end-time order (ties by cpu, then
+// start, then name — all deterministic).
+func (tr *Trace) rows() []timehistRow {
+	var rows []timehistRow
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if e.Ph != "X" {
+			continue
+		}
+		row := timehistRow{
+			endUS: e.TsUS + e.DurUS, tsUS: e.TsUS, durUS: e.DurUS,
+			cpu: e.Tid, name: e.Name,
+		}
+		if v, ok := e.Args["wait_us"].(float64); ok {
+			row.waitUS = v
+		}
+		if v, ok := e.Args["from_wake"].(bool); ok {
+			row.fromWake = v
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		ra, rb := &rows[a], &rows[b]
+		if ra.endUS != rb.endUS {
+			return ra.endUS < rb.endUS
+		}
+		if ra.cpu != rb.cpu {
+			return ra.cpu < rb.cpu
+		}
+		if ra.tsUS != rb.tsUS {
+			return ra.tsUS < rb.tsUS
+		}
+		return ra.name < rb.name
+	})
+	return rows
+}
+
+// Timehist renders the trace as a perf-sched-timehist-style table: the
+// first maxRows slices chronologically (0 = all), then the topN worst
+// wakeup dispatch latencies. Slice rows show the time the slice ended, the
+// cpu it ran on, the wait that preceded it (blank when the slice resumed a
+// preempted thread rather than serviced a wakeup), and the run length.
+func (tr *Trace) Timehist(w io.Writer, maxRows, topN int) error {
+	rows := tr.rows()
+	if _, err := fmt.Fprintf(w, "%12s  %4s  %-28s %12s %12s\n",
+		"time(ms)", "cpu", "task", "wait(us)", "run(us)"); err != nil {
+		return err
+	}
+	shown := len(rows)
+	if maxRows > 0 && shown > maxRows {
+		shown = maxRows
+	}
+	for _, row := range rows[:shown] {
+		wait := ""
+		if row.fromWake {
+			wait = fmt.Sprintf("%.3f", row.waitUS)
+		}
+		if _, err := fmt.Fprintf(w, "%12.3f  %4d  %-28s %12s %12.3f\n",
+			row.endUS/1e3, row.cpu, row.name, wait, row.durUS); err != nil {
+			return err
+		}
+	}
+	if rest := len(rows) - shown; rest > 0 {
+		if _, err := fmt.Fprintf(w, "  ... (%d more slices)\n", rest); err != nil {
+			return err
+		}
+	}
+
+	worst := make([]timehistRow, 0, len(rows))
+	for _, row := range rows {
+		if row.fromWake {
+			worst = append(worst, row)
+		}
+	}
+	sort.Slice(worst, func(a, b int) bool {
+		ra, rb := &worst[a], &worst[b]
+		if ra.waitUS != rb.waitUS {
+			return ra.waitUS > rb.waitUS
+		}
+		if ra.tsUS != rb.tsUS {
+			return ra.tsUS < rb.tsUS
+		}
+		return ra.name < rb.name
+	})
+	if topN > 0 && len(worst) > topN {
+		worst = worst[:topN]
+	}
+	if len(worst) == 0 {
+		_, err := fmt.Fprintln(w, "\nno wakeup dispatches recorded")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\nworst wakeup dispatch latencies:\n%12s  %12s  %4s  %s\n",
+		"wait(us)", "time(ms)", "cpu", "task"); err != nil {
+		return err
+	}
+	for _, row := range worst {
+		if _, err := fmt.Fprintf(w, "%12.3f  %12.3f  %4d  %s\n",
+			row.waitUS, row.tsUS/1e3, row.cpu, row.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
