@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/battle"
 	"repro/internal/core"
+	"repro/internal/memo"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -70,6 +71,9 @@ func main() {
 		perfEngine = flag.String("perf-engine", "wheel", "with -perf: event queue to time, \"wheel\" or \"heap\" (A/B the engines on one machine)")
 		cpuProf    = flag.String("cpuprofile", "", "with -perf: write a pprof CPU profile of the timed runs here")
 		memProf    = flag.String("memprofile", "", "with -perf: write a pprof heap profile taken after the timed runs here")
+		cacheDir   = flag.String("cache", "", "persist the trial-result cache in this directory: re-runs of identical trials load stored results instead of simulating")
+		noCache    = flag.Bool("no-cache", false, "disable trial-result memoization (in-grid dedup of identical cells stays)")
+		cacheStats = flag.Bool("cache-stats", false, "print trial-cache hit/miss statistics to stderr when the run finishes")
 	)
 	flag.Parse()
 
@@ -124,8 +128,39 @@ func main() {
 	core.SetBaseSeed(*seed)
 	core.SetTrialTimeout(*trialTmo)
 
+	// Trial-result memoization is on by default (in-memory; -cache adds the
+	// persistent layer). One process-wide cache is shared by every scenario,
+	// battle replication, and -check re-run, so repeated cells simulate once.
+	// Cached and fresh results are byte-identical by construction — tests
+	// pin it — so this cannot change any output, only how fast it appears.
+	reportCacheStats := func() {
+		if !*cacheStats {
+			return
+		}
+		if c := core.TrialCache(); c != nil {
+			fmt.Fprintf(os.Stderr, "schedbattle: cache: %s\n", c.Stats())
+		}
+		if d := core.DedupedTrials(); d > 0 {
+			fmt.Fprintf(os.Stderr, "schedbattle: grid dedup: %d duplicate cells served without simulating\n", d)
+		}
+	}
+	if *noCache {
+		if *cacheDir != "" {
+			fmt.Fprintln(os.Stderr, "schedbattle: -cache and -no-cache are mutually exclusive")
+			os.Exit(2)
+		}
+	} else {
+		c, err := memo.New(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "schedbattle: opening cache %s: %v\n", *cacheDir, err)
+			os.Exit(2)
+		}
+		core.SetTrialCache(c)
+	}
+
 	if *check {
 		regs, err := runCheck(*baseline, *mdOut)
+		reportCacheStats()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "schedbattle: check: %v\n", err)
 			os.Exit(2)
@@ -138,7 +173,9 @@ func main() {
 
 	if *battleArg != "" {
 		opt := battle.Options{Replications: *reps, Scale: *scale}
-		if err := runBattle(*battleArg, opt, *out, *mdOut, *baseline); err != nil {
+		err := runBattle(*battleArg, opt, *out, *mdOut, *baseline)
+		reportCacheStats()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "schedbattle: battle: %v\n", err)
 			os.Exit(1)
 		}
@@ -146,11 +183,13 @@ func main() {
 	}
 
 	if *scen != "" {
-		if err := runScenario(*scen, *scale, scenarioOutputs{
+		err := runScenario(*scen, *scale, scenarioOutputs{
 			out: *out, series: *seriesDir,
 			traceDir: *traceDir, traceCSV: *traceCSV,
 			timelineDir: *tlDir, timehist: *timehist,
-		}); err != nil {
+		})
+		reportCacheStats()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "schedbattle: %v\n", err)
 			os.Exit(1)
 		}
@@ -208,6 +247,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "schedbattle: wrote %s\n", *out)
 		}
 	}
+	reportCacheStats()
 	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "schedbattle: %d of %d experiments failed: %v\n", len(failed), len(ids), failed)
 	}

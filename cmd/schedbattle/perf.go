@@ -23,9 +23,12 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/battle"
 	"repro/internal/core"
 	"repro/internal/dtrace"
+	"repro/internal/memo"
 	"repro/internal/probe"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/timeline"
 )
@@ -191,7 +194,49 @@ func timeScenarios(iters int) []perfResult {
 		fmt.Println(line)
 		results = append(results, best)
 	}
+	results = append(results, timeMemoScenario()...)
 	return results
+}
+
+// timeMemoScenario prices the trial-result cache: one battle replication
+// study (web-tail, 5 seeds per scheduler) run cold into a fresh in-memory
+// cache, then re-run warm so every trial is a cache hit. The warm row's
+// EventsPerSec is deliberately 0 — wall time there measures deserialization,
+// not the engine, so the -perf-check gate skips it (its committed baseline
+// never has a positive events/sec) while the trajectory still records the
+// cold/warm wall ratio.
+func timeMemoScenario() []perfResult {
+	prev := core.TrialCache()
+	cache, err := memo.New("")
+	if err != nil {
+		panic(err) // memory-only New cannot fail
+	}
+	core.SetTrialCache(cache)
+	defer core.SetTrialCache(prev)
+
+	sp, err := scenario.LoadBuiltin("web-tail")
+	if err != nil {
+		panic(err) // bundled
+	}
+	opt := battle.Options{Replications: 5, Scale: 0.05}
+	one := func(name string) perfResult {
+		start := time.Now()
+		if _, err := battle.Run(sp, opt); err != nil {
+			panic(err)
+		}
+		wall := time.Since(start).Seconds()
+		return perfResult{Name: name, WallSeconds: wall, SimSeconds: sp.Window.D().Seconds() * opt.Scale}
+	}
+	cold := one("memo-battle-cold")
+	st := cache.Stats()
+	warm := one("memo-battle-warm")
+	if misses := cache.Stats().Misses - st.Misses; misses > 0 {
+		panic(fmt.Sprintf("perf: warm battle pass missed the cache %d times", misses))
+	}
+	fmt.Printf("%-22s %8.3fs wall (cold)\n", cold.Name, cold.WallSeconds)
+	fmt.Printf("%-22s %8.3fs wall (warm, %d hits)  %.1fx speedup\n",
+		warm.Name, warm.WallSeconds, cache.Stats().Hits-st.Hits, cold.WallSeconds/warm.WallSeconds)
+	return []perfResult{cold, warm}
 }
 
 // perfAttachTrace attaches the full-fidelity recorder to traced

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/memo"
 	"repro/internal/runner"
 	"repro/internal/sim"
 )
@@ -41,6 +42,19 @@ type Trial[T any] struct {
 	Until func(m *sim.Machine) bool
 	// Extract reads the trial's outcome once the window closed.
 	Extract func(m *sim.Machine) T
+
+	// CacheKey is the trial's content-addressed fingerprint, computed by
+	// the emitting layer over everything the outcome depends on EXCEPT the
+	// resolved seed (RunTrials folds that in after seed resolution — see
+	// trialSeed's occurrence rules). The zero key marks the trial
+	// uncacheable and exempt from grid dedup.
+	CacheKey memo.Key
+	// Encode/Decode serialize the outcome for the installed trial cache.
+	// Both must be set for the cache to engage; the encoding must
+	// round-trip T so that a cached result is indistinguishable from a
+	// fresh one (byte-identical downstream reports).
+	Encode func(T) ([]byte, error)
+	Decode func([]byte) (T, error)
 }
 
 // Execute runs the trial body on the calling goroutine. The Machine seed
@@ -101,6 +115,57 @@ func trialSeed(explicit int64, name string, occ int) int64 {
 	return runner.DeriveSeed(base^explicit, name, occ)
 }
 
+// trialCache holds the process-wide trial-result cache; nil (the default)
+// disables memoization. Like SetBaseSeed/SetWorkers it is a set-once CLI
+// knob read by every grid run.
+var trialCache atomic.Pointer[memo.Cache]
+
+// SetTrialCache installs (or, with nil, removes) the process-wide
+// content-addressed trial-result cache consulted by RunTrials before
+// executing any cacheable trial (the CLI's -cache/-no-cache flags).
+func SetTrialCache(c *memo.Cache) { trialCache.Store(c) }
+
+// TrialCache returns the installed cache, or nil when memoization is off.
+func TrialCache() *memo.Cache { return trialCache.Load() }
+
+// dedupedTrials counts grid cells served by another identical cell's
+// execution (grid-level dedup, which works with or without a cache).
+var dedupedTrials atomic.Uint64
+
+// DedupedTrials returns the process-wide count of grid cells that were
+// deduplicated onto an identical cell instead of simulating.
+func DedupedTrials() uint64 { return dedupedTrials.Load() }
+
+// executeCached runs one seed-resolved trial through the installed cache:
+// hit decodes the stored bytes, miss simulates and stores the encoded
+// result together with its simulate wall time (the basis of the cache's
+// wall-saved accounting). With no cache installed, a zero key, or no
+// codec, it is exactly Execute. key must already include the resolved
+// seed (memo.Derive).
+func executeCached[T any](t Trial[T], key memo.Key) T {
+	c := trialCache.Load()
+	if c == nil || key.IsZero() || t.Encode == nil || t.Decode == nil {
+		return t.Execute()
+	}
+	if data, _, ok := c.Get(key); ok {
+		out, err := t.Decode(data)
+		if err == nil {
+			return out
+		}
+		// The payload passed the cache's integrity checks but failed the
+		// codec — a format drift the schema salt should have caught. Count
+		// it and fall through to a fresh simulation.
+		c.NoteCorrupt()
+	}
+	start := time.Now()
+	out := t.Execute()
+	cost := time.Since(start)
+	if data, err := t.Encode(out); err == nil {
+		c.Put(key, data, cost)
+	}
+	return out
+}
+
 // trialTimeout holds the per-trial wall-clock watchdog in nanoseconds;
 // see SetTrialTimeout.
 var trialTimeout atomic.Int64
@@ -155,24 +220,72 @@ func RunTrials[T any](trials []Trial[T]) []T {
 // watchdog) fails only its own slot, the rest of the grid completes, and
 // the failures come back in trial order. out keeps the zero value at
 // failed indices.
+//
+// Cacheable trials (non-zero CacheKey) are additionally deduplicated
+// before dispatch: cells whose finalized fingerprints — CacheKey plus the
+// resolved seed — are identical describe byte-identical simulations, so
+// only the first runs and its outcome (or failure) fans back out to every
+// requesting cell. Fanned-out outcomes alias one value; grid consumers
+// treat results as read-only, which scenario reports already do.
 func RunTrialsErr[T any](trials []Trial[T]) ([]T, []*TrialError) {
 	// Seeds key on the trial name; on the derived path (no explicit seed,
 	// or a non-zero base seed) same-named trials in one grid fall back to
 	// their occurrence number so they still draw distinct seeds.
 	occ := make(map[string]int, len(trials))
-	occIdx := make([]int, len(trials))
+	seeds := make([]int64, len(trials))
+	keys := make([]memo.Key, len(trials))
 	for i, t := range trials {
-		occIdx[i] = occ[t.Name]
+		seeds[i] = trialSeed(t.Machine.Seed, t.Name, occ[t.Name])
 		occ[t.Name]++
+		if !t.CacheKey.IsZero() {
+			keys[i] = memo.Derive(t.CacheKey, seeds[i])
+		}
 	}
-	out, panics := runner.MapErr(len(trials), func(i int) T {
+
+	// Group identical cells: primaries execute, duplicates alias their
+	// primary's slot. Uncacheable trials are always their own primary.
+	var (
+		uniq      []int                      // primary trial indices, in grid order
+		primaryOf = make([]int, len(trials)) // trial index -> position in uniq
+		byKey     = map[memo.Key]int{}
+	)
+	for i := range trials {
+		if !keys[i].IsZero() {
+			if j, seen := byKey[keys[i]]; seen {
+				primaryOf[i] = j
+				dedupedTrials.Add(1)
+				continue
+			}
+			byKey[keys[i]] = len(uniq)
+		}
+		primaryOf[i] = len(uniq)
+		uniq = append(uniq, i)
+	}
+
+	res, panics := runner.MapErr(len(uniq), func(j int) T {
+		i := uniq[j]
 		t := trials[i]
-		t.Machine.Seed = trialSeed(t.Machine.Seed, t.Name, occIdx[i])
-		return t.Execute()
+		t.Machine.Seed = seeds[i]
+		return executeCached(t, keys[i])
 	})
-	errs := make([]*TrialError, len(panics))
-	for i, p := range panics {
-		errs[i] = &TrialError{Index: p.Index, Name: trials[p.Index].Name, Value: p.Value, Stack: p.Stack}
+
+	// Scatter primary outcomes and failures back to every requesting cell,
+	// in trial order. A duplicate of a panicked primary reports the same
+	// failure under its own index — its simulation would have panicked
+	// identically.
+	failed := make(map[int]*runner.TrialPanic, len(panics))
+	for _, p := range panics {
+		failed[p.Index] = p
+	}
+	out := make([]T, len(trials))
+	var errs []*TrialError
+	for i := range trials {
+		j := primaryOf[i]
+		if p, bad := failed[j]; bad {
+			errs = append(errs, &TrialError{Index: i, Name: trials[i].Name, Value: p.Value, Stack: p.Stack})
+			continue
+		}
+		out[i] = res[j]
 	}
 	return out, errs
 }

@@ -1,0 +1,81 @@
+package memo
+
+import (
+	"testing"
+)
+
+func TestHasherFraming(t *testing.T) {
+	// Adjacent fields must not bleed: ("ab","c") != ("a","bc").
+	a := NewHasher("s").Str("ab").Str("c").Sum()
+	b := NewHasher("s").Str("a").Str("bc").Sum()
+	if a == b {
+		t.Fatal("field boundaries collapsed: (ab,c) == (a,bc)")
+	}
+}
+
+func TestHasherTagKinds(t *testing.T) {
+	// The same payload bytes under different field kinds must differ.
+	asStr := NewHasher("s").Str("\x01\x00\x00\x00\x00\x00\x00\x00").Sum()
+	asInt := NewHasher("s").Int(1).Sum()
+	if asStr == asInt {
+		t.Fatal("string and int fields with identical bytes collided")
+	}
+	if NewHasher("s").Bool(true).Sum() == NewHasher("s").Bool(false).Sum() {
+		t.Fatal("bool values collided")
+	}
+}
+
+func TestHasherSalt(t *testing.T) {
+	a := NewHasher("v1").Str("x").Sum()
+	b := NewHasher("v2").Str("x").Sum()
+	if a == b {
+		t.Fatal("salt change did not change the key")
+	}
+}
+
+func TestHasherDeterminism(t *testing.T) {
+	build := func() Key {
+		return NewHasher("s").Str("spec").Int(8).Float(0.25).Bool(true).Bytes([]byte{1, 2}).Sum()
+	}
+	if build() != build() {
+		t.Fatal("identical field sequences produced different keys")
+	}
+}
+
+func TestHasherFloatBits(t *testing.T) {
+	a := NewHasher("s").Float(0.1).Sum()
+	b := NewHasher("s").Float(0.1 + 1e-17).Sum() // same float64 value
+	if a != b {
+		t.Fatal("identical float64 bit patterns produced different keys")
+	}
+	c := NewHasher("s").Float(0.30000000000000004).Sum()
+	d := NewHasher("s").Float(0.3).Sum()
+	if c == d {
+		t.Fatal("one-ulp-apart floats collided")
+	}
+}
+
+func TestDerive(t *testing.T) {
+	base := NewHasher("s").Str("cell").Sum()
+	k1 := Derive(base, 1)
+	k2 := Derive(base, 2)
+	if k1 == k2 {
+		t.Fatal("different seeds derived the same key")
+	}
+	if k1 != Derive(base, 1) {
+		t.Fatal("Derive is not deterministic")
+	}
+	if k1 == base {
+		t.Fatal("Derive returned its input unchanged")
+	}
+}
+
+func TestZeroKey(t *testing.T) {
+	var k Key
+	if !k.IsZero() {
+		t.Fatal("zero key does not report IsZero")
+	}
+	if NewHasher("s").Sum().IsZero() {
+		t.Fatal("a computed key reported IsZero")
+	}
+}

@@ -46,12 +46,23 @@ func (s *Spec) Compile(cliScale float64) ([]core.Trial[TrialReport], error) {
 	if len(scales) == 0 {
 		scales = []float64{1}
 	}
+	// The cell-invariant fingerprint prefix is hashed once per compile;
+	// buildTrial folds the sweep coordinates per cell (memo.go).
+	prefix, cacheable := s.cachePrefix()
 	var trials []core.Trial[TrialReport]
 	for _, cores := range s.Machine.Cores {
 		for _, sc := range scales {
 			for _, rs := range s.resolved {
 				for _, seed := range seeds {
-					trials = append(trials, s.buildTrial(cores, rs, sc*cliScale, seed))
+					t := s.buildTrial(cores, rs, sc*cliScale, seed)
+					if cacheable {
+						if key, ok := cellFingerprint(prefix, cores, rs, sc*cliScale, seed); ok {
+							t.CacheKey = key
+							t.Encode = encodeTrialReport
+							t.Decode = decodeTrialReport
+						}
+					}
+					trials = append(trials, t)
 				}
 			}
 		}

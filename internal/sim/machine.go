@@ -127,6 +127,12 @@ var forceEventHeap atomic.Bool
 // setting. Intended for wheel-vs-heap cross-validation tests.
 func SetForceEventHeap(v bool) bool { return forceEventHeap.Swap(v) }
 
+// ForceEventHeap reports the current package-wide engine override. Trial
+// fingerprints fold it in: the engines are byte-interchangeable by
+// contract, but the trial cache must never paper over a divergence, so a
+// heap-engined run can only ever hit heap-engined entries.
+func ForceEventHeap() bool { return forceEventHeap.Load() }
+
 // NewMachine builds a machine with the given topology and scheduler and
 // attaches the scheduler. Per-core scheduler ticks start immediately.
 func NewMachine(tp *topo.Topology, sched Scheduler, opts Options) *Machine {

@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"sync"
 )
 
 // Sample summarises one replicated measurement: n per-seed values of a
@@ -105,7 +106,9 @@ func BootstrapMeanCI(xs []float64, conf float64, iters int, seed int64) (lo, hi 
 		conf = 0.95
 	}
 	rng := splitmix64{s: uint64(seed)}
-	means := make([]float64, iters)
+	scratch := bootScratch(iters)
+	defer bootPool.Put(scratch)
+	means := (*scratch)[:iters]
 	for it := range means {
 		var sum float64
 		for i := 0; i < n; i++ {
@@ -124,6 +127,26 @@ func BootstrapMeanCI(xs []float64, conf float64, iters int, seed int64) (lo, hi 
 		hiIdx = iters - 1
 	}
 	return means[loIdx], means[hiIdx]
+}
+
+// bootPool recycles bootstrap resample buffers across BootstrapMeanCI
+// calls. A battle matrix computes thousands of intervals at the same iters
+// (10k resamples each by default), so without reuse the resample buffer
+// dominates the inference pass's allocations. Pooling cannot perturb
+// results: every retained slot is overwritten before it is read. The pool
+// holds *[]float64 so Get/Put stay allocation-free (a bare slice would be
+// boxed on every Put).
+var bootPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// bootScratch returns a pooled buffer with capacity for iters slots.
+// Callers return it with bootPool.Put once the interval bounds have been
+// copied out.
+func bootScratch(iters int) *[]float64 {
+	p := bootPool.Get().(*[]float64)
+	if cap(*p) < iters {
+		*p = make([]float64, iters)
+	}
+	return p
 }
 
 // PairedDeltas returns b[i] - a[i] for matched replications: index i of

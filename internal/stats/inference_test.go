@@ -89,3 +89,30 @@ func TestCohenD(t *testing.T) {
 		t.Fatalf("CohenD = %g, want 1", got)
 	}
 }
+
+// TestBootstrapMeanCIPooledScratchIsDeterministic pins that buffer reuse
+// cannot leak state between calls: interleaved calls with different inputs
+// (dirtying the pooled buffer) reproduce the exact bounds of fresh calls.
+func TestBootstrapMeanCIPooledScratchIsDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	ys := []float64{100, 200, 300}
+	lo1, hi1 := BootstrapMeanCI(xs, 0.95, 1000, 42)
+	for i := 0; i < 10; i++ {
+		BootstrapMeanCI(ys, 0.9, 500, int64(i)) // dirty the pooled scratch
+		lo2, hi2 := BootstrapMeanCI(xs, 0.95, 1000, 42)
+		if lo2 != lo1 || hi2 != hi1 {
+			t.Fatalf("round %d: [%g, %g] != first call [%g, %g]", i, lo2, hi2, lo1, hi1)
+		}
+	}
+}
+
+// BenchmarkBootstrapMeanCI tracks the inference hot path's allocation
+// behavior: with the pooled resample scratch the steady state must not
+// allocate per call (b.ReportAllocs makes regressions visible).
+func BenchmarkBootstrapMeanCI(b *testing.B) {
+	xs := []float64{91.2, 88.7, 90.1, 89.9, 92.4, 87.3, 90.8, 91.5, 89.2, 90.4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BootstrapMeanCI(xs, 0.95, 10000, int64(i))
+	}
+}
